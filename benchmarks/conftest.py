@@ -1,0 +1,16 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one paper table/figure under
+``pytest-benchmark`` timing and asserts the paper's *shape* (who wins,
+by roughly what factor) on the produced data.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): which table/figure a bench regenerates"
+    )

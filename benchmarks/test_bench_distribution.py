@@ -1,0 +1,52 @@
+"""Bench: just-in-time CAC provision via image distribution (§VIII).
+
+The paper's future work: Rattrap on Docker "may bring about the real
+just-in-time provision of Cloud Android Container".  This bench
+measures time-to-first-serving-container on a *fresh* server under
+three provisioning strategies and asserts the Slacker-style ordering.
+"""
+
+import pytest
+
+from repro.hostos import CloudServer
+from repro.platform import ImagePuller, ImageRegistry, cac_image
+from repro.android import container_boot_sequence
+from repro.sim import Environment
+
+
+def provision_and_boot(mode: str, optimized: bool = True) -> float:
+    """Pull the CAC image with ``mode``, then boot a container; returns
+    simulated seconds until the container is serving."""
+    env = Environment()
+    server = CloudServer(env)
+    registry = ImageRegistry()
+    registry.push(cac_image(optimized=True))
+    registry.push(cac_image(optimized=False))
+    puller = ImagePuller(server, registry, backbone_bw_mbps=1000.0)
+    ref = "rattrap/cac:optimized" if optimized else "rattrap/cac:non-optimized"
+
+    def scenario(env):
+        yield env.process(puller.pull(ref, mode=mode))
+        yield env.process(container_boot_sequence(optimized=optimized).run(server))
+        return env.now
+
+    return env.run(until=env.process(scenario(env)))
+
+
+@pytest.mark.paper_artifact("future-work")
+def test_bench_jit_provision(benchmark):
+    results = benchmark(
+        lambda: {
+            "eager-full": provision_and_boot("eager", optimized=False),
+            "eager-optimized": provision_and_boot("eager", optimized=True),
+            "lazy-optimized": provision_and_boot("lazy", optimized=True),
+        }
+    )
+    # Ordering: lazy + customized OS is the closest to just-in-time.
+    assert results["lazy-optimized"] < results["eager-optimized"]
+    assert results["eager-optimized"] < results["eager-full"]
+    # Lazy optimized provision lands within ~0.5 s of a warm-image boot
+    # (1.75 s), i.e. genuinely just-in-time.
+    assert results["lazy-optimized"] < 1.75 + 0.5
+    # A full (non-customized) eager pull is several times worse.
+    assert results["eager-full"] > 3 * results["lazy-optimized"]

@@ -1,0 +1,23 @@
+"""Bench: Fig. 1 — phase details + offloading speedups on the VM cloud."""
+
+import pytest
+
+from repro.experiments import fig1_phases
+
+
+@pytest.mark.paper_artifact("fig1")
+def test_bench_fig1(benchmark):
+    data = benchmark(fig1_phases.run)
+
+    assert set(data) == {"ocr", "chess", "virusscan", "linpack"}
+    for workload, rows in data.items():
+        assert len(rows) == 20, workload
+        first, rest = rows[0], rows[1:]
+        # Observation 1: the first request suffers the VM cold start and
+        # is an offloading failure; later requests are warm.
+        assert first["runtime_preparation"] > 25.0, workload
+        assert first["speedup"] < 1.0, workload
+        assert all(r["runtime_preparation"] < 0.5 for r in rest), workload
+        assert all(r["speedup"] > 1.0 for r in rest), workload
+        # The cold request also ships the app code: more transfer time.
+        assert first["data_transfer"] > rest[0]["data_transfer"], workload

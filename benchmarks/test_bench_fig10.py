@@ -1,0 +1,37 @@
+"""Bench: Fig. 10 — power consumption across network scenarios."""
+
+import pytest
+
+from repro.experiments import fig10_power
+
+
+@pytest.mark.paper_artifact("fig10")
+def test_bench_fig10(benchmark):
+    data = benchmark(fig10_power.run)
+
+    for workload, per_scenario in data.items():
+        for scenario in fig10_power.SCENARIO_ORDER:
+            p = per_scenario[scenario]
+            # Rattrap <= W/O <= VM in every cell.
+            assert p["rattrap"] <= p["rattrap-wo"] * 1.001, (workload, scenario)
+            assert p["rattrap-wo"] <= p["vm"] * 1.001, (workload, scenario)
+
+    # Offloading saves energy in most cases (normalized < 1), notably on
+    # WiFi for the no-file-transfer workloads.
+    for workload in ("chess", "linpack"):
+        assert data[workload]["lan-wifi"]["rattrap"] < 0.5, workload
+
+    # LAN ratios: chess ~1.37 (the paper's headline), OCR ~1.22.
+    lan = {w: d["lan-wifi"]["vm"] / d["lan-wifi"]["rattrap"] for w, d in data.items()}
+    assert lan["chess"] == pytest.approx(1.37, abs=0.12)
+    assert lan["ocr"] == pytest.approx(1.22, abs=0.12)
+    assert all(r > 1.1 for r in lan.values())
+
+    # Observation 3: for file-transfer workloads (OCR, VirusScan) the
+    # Rattrap-vs-VM gap shrinks as the network degrades...
+    for workload in ("ocr", "virusscan"):
+        ratio_3g = data[workload]["3g"]["vm"] / data[workload]["3g"]["rattrap"]
+        assert ratio_3g < lan[workload] - 0.05, workload
+    # ...but not for ChessGame (no files: prep/compute savings persist).
+    chess_3g = data["chess"]["3g"]["vm"] / data["chess"]["3g"]["rattrap"]
+    assert chess_3g > 1.2

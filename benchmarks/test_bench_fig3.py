@@ -1,0 +1,29 @@
+"""Bench: Fig. 3 — composition of migrated data per VM."""
+
+import pytest
+
+from repro.experiments import fig3_datacomp
+
+
+@pytest.mark.paper_artifact("fig3")
+def test_bench_fig3(benchmark):
+    data = benchmark(fig3_datacomp.run)
+
+    for workload, per_vm in data.items():
+        assert len(per_vm) == 5, workload
+        for vm in per_vm:
+            # Observation 3: every isolated VM receives the mobile code.
+            assert vm["mobile_code"] > 0, workload
+            total = vm["mobile_code"] + vm["file_param"] + vm["control"]
+            assert total == pytest.approx(1.0)
+
+    # "For workloads which require no additional file transfer, like
+    # ChessGame and Linpack, the mobile code accounts for more than 50%
+    # of migrated data."
+    for workload in ("chess", "linpack"):
+        for vm in data[workload]:
+            assert vm["mobile_code"] > 0.5, workload
+    # File-transfer workloads are parameter-dominated instead.
+    for workload in ("ocr", "virusscan"):
+        for vm in data[workload]:
+            assert vm["file_param"] > vm["mobile_code"], workload

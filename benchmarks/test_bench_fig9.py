@@ -1,0 +1,48 @@
+"""Bench: Fig. 9 — average offloading performance across platforms."""
+
+import pytest
+
+from repro.experiments import fig9_performance
+
+
+@pytest.mark.paper_artifact("fig9")
+def test_bench_fig9(benchmark):
+    data = benchmark(fig9_performance.run)
+
+    for workload, per_platform in data.items():
+        vm, wo, rt = (
+            per_platform["vm"],
+            per_platform["rattrap-wo"],
+            per_platform["rattrap"],
+        )
+        # Runtime preparation: 4.14-4.71x (W/O), 16.29-16.98x (Rattrap).
+        prep_wo = vm["preparation"] / wo["preparation"]
+        prep_rt = vm["preparation"] / rt["preparation"]
+        assert 4.0 < prep_wo < 4.9, (workload, prep_wo)
+        assert 15.0 < prep_rt < 17.5, (workload, prep_rt)
+
+        # Data transfer: Rattrap 1.17-2.04x (our band: 1.05-2.2, the
+        # small-app workloads land just under); W/O: no improvement.
+        xfer_rt = vm["transfer"] / rt["transfer"]
+        xfer_wo = vm["transfer"] / wo["transfer"]
+        assert 1.05 < xfer_rt < 2.2, (workload, xfer_rt)
+        assert xfer_wo == pytest.approx(1.0, abs=0.1), (workload, xfer_wo)
+
+        # Computation: W/O 1.02-1.13x-ish, Rattrap 1.05-1.40x-ish.
+        exec_wo = vm["execution"] / wo["execution"]
+        exec_rt = vm["execution"] / rt["execution"]
+        assert 1.0 < exec_wo < 1.2, (workload, exec_wo)
+        assert exec_rt >= exec_wo, workload
+
+        # Total ordering: Rattrap < W/O < VM.
+        assert rt["total"] < wo["total"] < vm["total"], workload
+
+    # VirusScan gains the most from containers + in-memory offloading I/O;
+    # Linpack (pure compute) the least.
+    exec_gain = {
+        w: p["vm"]["execution"] / p["rattrap"]["execution"] for w, p in data.items()
+    }
+    assert exec_gain["virusscan"] == max(exec_gain.values())
+    assert exec_gain["linpack"] == min(exec_gain.values())
+    assert exec_gain["virusscan"] > 1.25
+    assert exec_gain["linpack"] < 1.10

@@ -1,0 +1,22 @@
+"""Bench: §III-E — OS redundancy profiling."""
+
+import pytest
+
+from repro.experiments import section3e_redundancy
+
+MB = 1024 * 1024
+
+
+@pytest.mark.paper_artifact("sec3e")
+def test_bench_section3e(benchmark):
+    rep = benchmark(section3e_redundancy.run)
+
+    assert rep.total_bytes == pytest.approx(1126.4 * MB, abs=1)
+    assert rep.system_bytes == pytest.approx(985 * MB, abs=1)
+    assert rep.never_accessed_bytes == pytest.approx(771 * MB, abs=1)
+    assert rep.never_accessed_fraction == pytest.approx(0.684, abs=0.001)
+    assert rep.system_fraction == pytest.approx(0.874, abs=0.001)
+    assert rep.redundant_counts["builtin_app"] == 20
+    assert rep.redundant_counts["shared_lib_unused"] == 197
+    assert rep.redundant_counts["kernel_module"] == 4372
+    assert rep.redundant_counts["firmware"] == 396

@@ -1,0 +1,39 @@
+"""Bench: Table I — runtime-environment overheads.
+
+Regenerates the setup-time / memory / disk table and asserts the
+paper's numbers (these are calibration anchors, so they must be tight).
+"""
+
+import pytest
+
+from repro.experiments import table1_overheads
+
+MB = 1024 * 1024
+
+
+@pytest.mark.paper_artifact("table1")
+def test_bench_table1(benchmark):
+    data = benchmark(table1_overheads.run)
+
+    vm = data["Android VM"]
+    non = data["CAC (non-optimized)"]
+    opt = data["CAC (optimized)"]
+
+    # Setup times (Table I): 28.72 s / 6.80 s / 1.75 s.
+    assert vm["setup_time_s"] == pytest.approx(28.72, rel=0.02)
+    assert non["setup_time_s"] == pytest.approx(6.80, rel=0.02)
+    assert opt["setup_time_s"] == pytest.approx(1.75, rel=0.02)
+    # Headline speedups: 4.22x and 16.41x.
+    assert vm["setup_time_s"] / non["setup_time_s"] == pytest.approx(4.22, abs=0.1)
+    assert vm["setup_time_s"] / opt["setup_time_s"] == pytest.approx(16.41, abs=0.4)
+
+    # Memory footprints: 512 / 128 / 96 MB (>= 75 % saved).
+    assert vm["memory_mb"] == 512 and non["memory_mb"] == 128 and opt["memory_mb"] == 96
+    assert 1 - non["memory_mb"] / vm["memory_mb"] == pytest.approx(0.75)
+
+    # Disk: 1.1 GB / 1.02 GB / 7.1 MB.
+    assert vm["disk_bytes"] == pytest.approx(1126.4 * MB, rel=0.01)
+    assert non["disk_bytes"] == pytest.approx(1045 * MB, rel=0.01)
+    assert opt["disk_bytes"] == pytest.approx(7.1 * MB, rel=0.01)
+    # "at least 79 % disk usage" saved per additional container.
+    assert 1 - opt["disk_bytes"] / vm["disk_bytes"] > 0.99

@@ -1,0 +1,39 @@
+"""Bench: Table II — total migrated data per workload/platform."""
+
+import pytest
+
+from repro.experiments import table2_migrated
+from repro.experiments.table2_migrated import PAPER_VALUES_KB
+
+
+@pytest.mark.paper_artifact("table2")
+def test_bench_table2(benchmark):
+    data = benchmark(table2_migrated.run)
+
+    for workload, per_platform in data.items():
+        measured_vm = per_platform["vm"]["upload_kb"]
+        measured_rt = per_platform["rattrap"]["upload_kb"]
+        paper_vm, _ = PAPER_VALUES_KB[workload]["vm"]
+        paper_rt, _ = PAPER_VALUES_KB[workload]["rattrap"]
+        # Uploads match the paper's table within ~2 % (calibrated).
+        assert measured_vm == pytest.approx(paper_vm, rel=0.02), workload
+        assert measured_rt == pytest.approx(paper_rt, rel=0.02), workload
+        # W/O has no cache: uploads like the VM cloud.
+        assert per_platform["rattrap-wo"]["upload_kb"] == pytest.approx(
+            measured_vm, rel=0.01
+        ), workload
+        # Downloads are platform-independent.
+        downloads = {p["download_kb"] for p in per_platform.values()}
+        assert max(downloads) - min(downloads) < 1.0, workload
+
+    # The cache saves exactly 4 extra code copies (5 devices, 1 upload).
+    for workload, per_platform in data.items():
+        saved = per_platform["vm"]["upload_kb"] - per_platform["rattrap"]["upload_kb"]
+        assert saved > 0, workload
+    # ChessGame/Linpack save the largest *fraction* (code-dominated).
+    fractions = {
+        w: 1 - p["rattrap"]["upload_kb"] / p["vm"]["upload_kb"]
+        for w, p in data.items()
+    }
+    assert fractions["chess"] > 0.5 and fractions["linpack"] > 0.5
+    assert fractions["ocr"] < 0.2 and fractions["virusscan"] < 0.1

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Just-in-time CAC provision via container-image distribution (§VIII).
+
+The paper's future work asks whether Docker-style image distribution
+can deliver "the real just-in-time provision of Cloud Android
+Container".  This example provisions a *fresh* server three ways and
+measures time until a container is serving:
+
+1. eager pull of the full Android rootfs image (stock Docker);
+2. eager pull of the customized-OS image (Rattrap's stripping);
+3. lazy (Slacker-style) pull of the customized image — only the ~6.4 %
+   startup working set fetched synchronously.
+
+Run:  python examples/docker_provision.py
+"""
+
+from repro.analysis import render_table
+from repro.android import container_boot_sequence
+from repro.hostos import CloudServer
+from repro.platform import ImagePuller, ImageRegistry, cac_image
+from repro.sim import Environment
+
+
+def provision(mode: str, optimized: bool):
+    env = Environment()
+    server = CloudServer(env)
+    registry = ImageRegistry()
+    registry.push(cac_image(optimized=True))
+    registry.push(cac_image(optimized=False))
+    puller = ImagePuller(server, registry, backbone_bw_mbps=1000.0)
+    ref = f"rattrap/cac:{'optimized' if optimized else 'non-optimized'}"
+
+    def scenario(env):
+        report = yield env.process(puller.pull(ref, mode=mode))
+        pull_done = env.now
+        yield env.process(container_boot_sequence(optimized=optimized).run(server))
+        return report, pull_done, env.now
+
+    report, pull_done, total = env.run(until=env.process(scenario(env)))
+    return report, pull_done, total
+
+
+def main() -> None:
+    rows = []
+    for label, mode, optimized in (
+        ("full rootfs, eager", "eager", False),
+        ("customized OS, eager", "eager", True),
+        ("customized OS, lazy", "lazy", True),
+    ):
+        report, pull_done, total = provision(mode, optimized)
+        rows.append(
+            [
+                label,
+                report.fetched_bytes / 2**20,
+                report.background_bytes / 2**20,
+                pull_done,
+                total,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "strategy",
+                "sync fetch (MB)",
+                "background (MB)",
+                "image ready (s)",
+                "container serving (s)",
+            ],
+            rows,
+            title="Cold-server CAC provision over a 1 Gbps backbone",
+        )
+    )
+    print(
+        "\nThe customized OS + lazy pull lands within half a second of a\n"
+        "warm-image container boot (1.75 s) — the 'real just-in-time\n"
+        "provision' the paper's future work anticipates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Hybrid execution: the decision engine in the offloading loop.
+
+Classical offloading frameworks (MAUI, CloneCloud) decide per-task
+whether to offload.  This example runs the same workload mix with the
+decision engine consulting each platform's advertised runtime-prep time
+and cache state — showing that a smart client can mask the VM cloud's
+cold starts only by *refusing to offload*, which forfeits the speedup,
+while Rattrap makes offloading profitable almost everywhere.
+
+Run:  python examples/hybrid_client.py
+"""
+
+from repro.analysis import render_table
+from repro.network import make_link
+from repro.offload import DecisionEngine, MobileDevice
+from repro.offload.client import replay_hybrid
+from repro.platform import RattrapPlatform, VMCloudPlatform
+from repro.sim import Environment
+from repro.workloads import ALL_WORKLOADS, generate_inflow
+
+
+def run(platform_name: str, profile, scenario: str):
+    env = Environment()
+    platform = (
+        RattrapPlatform(env) if platform_name == "rattrap" else VMCloudPlatform(env)
+    )
+    plans = generate_inflow(profile, devices=3, requests_per_device=8, seed=2)
+    devices = {
+        f"device-{i}": MobileDevice(f"device-{i}", make_link(scenario))
+        for i in range(3)
+    }
+    proc = env.process(
+        replay_hybrid(env, platform, plans, devices, DecisionEngine())
+    )
+    results = env.run(until=proc)
+    offloaded = [r for r in results if not r.executed_locally]
+    local = len(results) - len(offloaded)
+    mean_speedup = (
+        sum(r.speedup for r in offloaded) / len(offloaded) if offloaded else 0.0
+    )
+    return len(offloaded), local, mean_speedup
+
+
+def main() -> None:
+    for scenario in ("lan-wifi", "3g"):
+        rows = []
+        for profile in ALL_WORKLOADS:
+            for name in ("rattrap", "vm"):
+                off, local, speedup = run(name, profile, scenario)
+                rows.append([profile.name, name, off, local,
+                             speedup if off else float("nan")])
+        print(
+            render_table(
+                ["workload", "platform", "offloaded", "kept local", "mean speedup"],
+                rows,
+                title=f"Hybrid client decisions on {scenario}",
+            )
+        )
+        print()
+    print(
+        "Two effects are visible.  (1) The cold-start trap: a rational client\n"
+        "never offloads to the VM cloud because the first request's 28.72 s\n"
+        "boot makes it unprofitable — and since nothing offloads, the VM\n"
+        "never warms up.  Rattrap's 1.75 s boot clears the break-even bar, so\n"
+        "it bootstraps itself.  (2) On 3G, transfer costs keep everything\n"
+        "except pure-compute Linpack on the device, whatever the platform."
+    )
+
+
+if __name__ == "__main__":
+    main()

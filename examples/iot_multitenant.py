@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""IoT multi-tenant scenario (the paper's §VIII future-work use case).
+
+Many low-power IoT gateways offload bursts of mixed workloads to one
+server.  VM-per-tenant exhausts the 16 GB server long before container-
+per-tenant does, and the app-affinity dispatcher consolidates further —
+the consolidation-density argument behind Table I's footprints.
+
+Run:  python examples/iot_multitenant.py
+"""
+
+from repro.analysis import phase_means, render_table
+from repro.hostos import OutOfMemoryError
+from repro.network import make_link
+from repro.offload import run_inflow_experiment
+from repro.platform import RattrapPlatform, VMCloudPlatform
+from repro.sim import Environment
+from repro.workloads import LINPACK, generate_inflow
+
+TENANTS = 40  # IoT gateways, each needing its own runtime
+
+
+def run(platform_name: str, dispatch_policy: str = "per-device"):
+    env = Environment()
+    if platform_name == "vm":
+        platform = VMCloudPlatform(env)
+    else:
+        platform = RattrapPlatform(env, optimized=True, dispatch_policy=dispatch_policy)
+    plans = generate_inflow(
+        LINPACK, devices=TENANTS, requests_per_device=3, think_time_s=20.0, seed=5
+    )
+    try:
+        results = run_inflow_experiment(env, platform, plans, make_link("wan-wifi"))
+        status = "ok"
+    except OutOfMemoryError as exc:
+        results = platform.completed()
+        status = f"OOM: {exc}"
+    return platform, results, status
+
+
+def main() -> None:
+    rows = []
+    for name, policy in (("vm", "per-device"), ("rattrap", "per-device"),
+                         ("rattrap", "app-affinity")):
+        platform, results, status = run(name, policy)
+        served = len(results)
+        mem = platform.db.total_memory_mb()
+        rows.append(
+            [
+                f"{name} ({policy})",
+                served,
+                len(platform.db),
+                mem,
+                f"{100 * mem / platform.server.spec.memory_mb:.0f} %",
+                status if status != "ok" else
+                f"{phase_means(results).total:.2f} s avg response",
+            ]
+        )
+    print(
+        render_table(
+            ["platform", "served", "runtimes", "memory (MB)", "server mem", "outcome"],
+            rows,
+            title=f"{TENANTS} IoT tenants offloading Linpack bursts",
+        )
+    )
+    print(
+        "\nA 16 GB server fits 32 Android VMs (512 MB each) but 170 optimized\n"
+        "containers (96 MB); app-affinity dispatch needs only a handful of\n"
+        "warm containers for the whole tenant population."
+    )
+
+
+if __name__ == "__main__":
+    main()

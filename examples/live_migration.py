@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Live migration: drain a hot Rattrap node onto a fresh one.
+
+CMCloud (the related VM-based platform) meets QoS by migrating VMs;
+containers migrate far more cheaply — the per-runtime state is ~5x
+smaller and the customized-OS rootfs already exists on every Rattrap
+node through the shared base layer.  This example warms up a node with
+five devices, live-migrates all of its containers, and shows the
+destination serving warm requests immediately.
+
+Run:  python examples/live_migration.py
+"""
+
+from repro.analysis import render_table
+from repro.network import make_link
+from repro.offload import OffloadRequest, Phase, run_inflow_experiment
+from repro.platform import MigrationManager, RattrapPlatform, VMCloudPlatform
+from repro.sim import Environment
+from repro.workloads import CHESS_GAME, generate_inflow
+
+MB = 1024 * 1024
+
+
+def drain(platform_cls):
+    env = Environment()
+    src = platform_cls(env)
+    plans = generate_inflow(CHESS_GAME, devices=5, requests_per_device=4, seed=6)
+    link = make_link("lan-wifi")
+    run_inflow_experiment(env, src, plans, link)
+
+    dst = platform_cls(env)
+    manager = MigrationManager(backbone_bw_mbps=1000.0)
+    reports = []
+    for record in src.db.all_records():
+        if record.runtime.is_ready:
+            reports.append(
+                env.run(until=env.process(manager.migrate(record, src, dst)))
+            )
+    # The destination serves a warm follow-up request for each device.
+    warm_preps = []
+    for i in range(5):
+        result = env.run(until=dst.submit(
+            OffloadRequest(1000 + i, f"device-{i}", "chess", CHESS_GAME,
+                           seq_on_device=99), link))
+        warm_preps.append(result.phase(Phase.PREPARATION))
+    return reports, warm_preps, src, dst
+
+
+def main() -> None:
+    rows = []
+    for label, cls in (("Rattrap containers", RattrapPlatform),
+                       ("Android VMs", VMCloudPlatform)):
+        reports, warm_preps, src, dst = drain(cls)
+        total_bytes = sum(r.transferred_bytes for r in reports)
+        total_time = sum(r.total_time_s for r in reports)
+        worst_down = max(r.downtime_s for r in reports)
+        rows.append(
+            [
+                label,
+                len(reports),
+                total_bytes / MB,
+                total_time,
+                1000 * worst_down,
+                max(warm_preps),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "runtime kind",
+                "migrated",
+                "state moved (MB)",
+                "total time (s)",
+                "worst downtime (ms)",
+                "post-move prep (s)",
+            ],
+            rows,
+            title="Draining a node: 5 runtimes live-migrated over 1 Gbps",
+        )
+    )
+    print(
+        "\nContainer state is ~5x lighter, the whole drain finishes ~4x\n"
+        "faster, and migrated containers keep serving warm — code cache\n"
+        "entries and CID affinity travel with them."
+    )
+
+
+if __name__ == "__main__":
+    main()

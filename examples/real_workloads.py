@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Run the *actual* compute kernels behind the four benchmark workloads.
+
+The simulation calibrates against the paper's timings, but the library
+also ships genuine implementations — OCR, chess search, virus scan and
+Linpack — so an offloaded task is real computation, not a stopwatch.
+This example executes one task per workload and prints what happened.
+
+Run:  python examples/real_workloads.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps import (
+    Board,
+    ChessEngine,
+    OcrEngine,
+    SignatureDatabase,
+    VirusScanner,
+    linpack_benchmark,
+    render_text,
+)
+
+
+def run_ocr() -> str:
+    engine = OcrEngine()
+    image = render_text("OFFLOAD ME TO THE CLOUD", scale=4, noise_sigma=0.12, seed=7)
+    t0 = time.perf_counter()
+    result = engine.recognize(image)
+    ms = 1e3 * (time.perf_counter() - t0)
+    return (
+        f"OCR        : {image.shape[1]}x{image.shape[0]} px -> "
+        f"{result.text!r} (confidence {result.mean_confidence:.2f}, {ms:.0f} ms)"
+    )
+
+
+def run_chess() -> str:
+    board = Board()  # starting position
+    engine = ChessEngine()
+    t0 = time.perf_counter()
+    result = engine.search(board, depth=3)
+    ms = 1e3 * (time.perf_counter() - t0)
+    return (
+        f"ChessGame  : depth-3 search -> best move {result.best_move.uci()} "
+        f"(score {result.score} cp, {result.nodes} nodes, {ms:.0f} ms)"
+    )
+
+
+def run_virusscan() -> str:
+    db = SignatureDatabase.generate(count=400, seed=0)
+    scanner = VirusScanner(db)
+    rng = np.random.default_rng(3)
+    sample = bytes(rng.integers(0, 256, size=256 * 1024, dtype=np.uint8))
+    infected = scanner.implant(sample, signature_index=42, offset=77_000)
+    t0 = time.perf_counter()
+    report = scanner.scan("download.apk", infected)
+    ms = 1e3 * (time.perf_counter() - t0)
+    names = sorted({name for name, _ in report.detections})
+    return (
+        f"VirusScan  : {report.scanned_bytes // 1024} KB against {len(db)} "
+        f"signatures -> {'INFECTED ' + str(names) if report.infected else 'clean'} "
+        f"({ms:.0f} ms)"
+    )
+
+
+def run_linpack() -> str:
+    result = linpack_benchmark(n=300, seed=1)
+    return (
+        f"Linpack    : n={result.n} solve -> {result.mflops:.0f} MFLOPS, "
+        f"normalized residual {result.normalized_residual:.2f} "
+        f"({'PASS' if result.passed else 'FAIL'})"
+    )
+
+
+def main() -> None:
+    print("The four offloading workloads, executed for real:\n")
+    for runner in (run_ocr, run_chess, run_virusscan, run_linpack):
+        print("  " + runner())
+    print(
+        "\nThese kernels are what a Cloud Android Container would execute on\n"
+        "behalf of a handset; the simulation layers the paper's platform\n"
+        "economics (boot, transfer, cache, energy) on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

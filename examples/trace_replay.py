@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Replay a day of LiveLab-style app accesses against all platforms.
+
+Generates a synthetic user trace (sessions, diurnal pattern, heavy
+tails), replays it open-loop against the three cloud platforms with
+idle-runtime reclamation, and prints the speedup distribution — the
+Fig. 11 methodology as a runnable scenario.
+
+Run:  python examples/trace_replay.py
+"""
+
+import numpy as np
+
+from repro.analysis import failure_rate, fraction_above, render_table
+from repro.experiments.common import build_platform
+from repro.network import make_link
+from repro.sim import Environment
+from repro.traces import (
+    LiveLabConfig,
+    generate_livelab_trace,
+    replay_trace,
+    trace_to_plans,
+)
+from repro.workloads import CHESS_GAME
+
+
+def main() -> None:
+    trace = generate_livelab_trace(
+        LiveLabConfig(users=5, days=1.0), apps=(CHESS_GAME.name,), seed=11
+    )
+    print(
+        f"Trace: {len(trace)} accesses, {trace.session_count()} sessions, "
+        f"{len(trace.users())} users over {trace.duration_s() / 3600:.1f} h"
+    )
+
+    rows = []
+    for name in ("rattrap", "rattrap-wo", "vm"):
+        env = Environment()
+        platform = build_platform(env, name)
+        plans = trace_to_plans(trace, CHESS_GAME, seed=11)
+        links = {
+            user: make_link("lan-wifi", rng=np.random.default_rng(100 + i))
+            for i, user in enumerate(trace.users())
+        }
+        results = replay_trace(env, platform, plans, links, idle_timeout_s=120.0)
+        rows.append(
+            [
+                name,
+                len(results),
+                platform.dispatcher.cold_boots,
+                100 * fraction_above(results, 3.0),
+                100 * fraction_above(results, 2.0),
+                100 * failure_rate(results),
+            ]
+        )
+    print(
+        render_table(
+            ["platform", "requests", "cold boots", ">3x (%)", ">2x (%)", "failures (%)"],
+            rows,
+            title="Trace-driven ChessGame offloading (idle runtimes reclaimed)",
+            precision=1,
+        )
+    )
+    print(
+        "\nCold starts recur whenever a user opens the app after an idle gap;\n"
+        "Rattrap's fast container boot turns those into near-just-in-time\n"
+        "deployments instead of offloading failures."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Configuration lives in pyproject.toml; this shim exists so editable
+# installs work in offline environments without the `wheel` package.
+setup()

@@ -1,0 +1,38 @@
+"""Rattrap reproduction: a container-based cloud platform for mobile
+computation offloading (Wu et al., IPDPS 2017), rebuilt as a fully
+simulated, calibrated system in pure Python.
+
+Subpackages
+-----------
+``repro.sim``        discrete-event simulation kernel
+``repro.hostos``     cloud-server substrate (kernel, CPU, memory, disks)
+``repro.unionfs``    AUFS-style layered copy-on-write filesystem
+``repro.android``    Android image / boot / customization models
+``repro.runtime``    Android VM and Cloud Android Container runtimes
+``repro.network``    mobile network links (LAN/WAN WiFi, 3G, 4G)
+``repro.offload``    offloading framework (messages, devices, energy)
+``repro.platform``   Rattrap itself + the VM-cloud baseline
+``repro.workloads``  the four calibrated benchmark workloads
+``repro.apps``       real compute kernels (OCR, chess, scan, Linpack)
+``repro.traces``     LiveLab-style trace generation and replay
+``repro.analysis``   metrics, tables, time-series helpers
+``repro.experiments`` regenerators for every paper table and figure
+
+Quickstart
+----------
+>>> from repro.sim import Environment
+>>> from repro.platform import RattrapPlatform
+>>> from repro.network import make_link
+>>> from repro.workloads import CHESS_GAME, generate_inflow
+>>> from repro.offload import run_inflow_experiment
+>>> env = Environment()
+>>> platform = RattrapPlatform(env)
+>>> plans = generate_inflow(CHESS_GAME, devices=2, requests_per_device=3)
+>>> results = run_inflow_experiment(env, platform, plans, make_link("lan-wifi"))
+>>> len(results)
+6
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

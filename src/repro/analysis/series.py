@@ -1,0 +1,49 @@
+"""Time-series post-processing for Fig. 2-style plots.
+
+Fig. 2 shows CPU utilization and disk read/write MB/s at one-second
+granularity over the experiment timeline.  These helpers turn the
+monitors on a :class:`~repro.hostos.server.CloudServer` into aligned
+arrays and render compact ASCII sparklines for terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hostos.server import CloudServer
+
+__all__ = ["server_load_series", "sparkline"]
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def server_load_series(
+    server: "CloudServer", t0: float, t1: float, dt: float = 1.0
+) -> Dict[str, np.ndarray]:
+    """Fig. 2 series: CPU %, disk read MB/s, disk write MB/s on one grid."""
+    if t1 <= t0:
+        raise ValueError("t1 must exceed t0")
+    cpu = server.cpu.utilization.percent_series(t0, t1, dt)
+    io = server.disk.tracker.mbps_series(t0, t1, dt)
+    n = min(len(cpu), len(io["read"]), len(io["write"]))
+    return {
+        "time": np.arange(t0, t1, dt)[:n],
+        "cpu_percent": cpu[:n],
+        "read_mbps": io["read"][:n],
+        "write_mbps": io["write"][:n],
+    }
+
+
+def sparkline(values: np.ndarray, vmax: float = 0.0) -> str:
+    """Render values as a unicode sparkline (one char per sample)."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    top = vmax if vmax > 0 else float(values.max())
+    if top <= 0:
+        return _BARS[0] * len(values)
+    idx = np.clip((values / top) * (len(_BARS) - 1), 0, len(_BARS) - 1)
+    return "".join(_BARS[int(round(i))] for i in idx)

@@ -1,0 +1,54 @@
+"""Fixed-width table rendering for experiment output.
+
+The benchmark harness prints paper-style tables to stdout; this keeps
+the formatting in one place and trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any, precision: int = 2) -> str:
+    """Human formatting: floats rounded, ints plain, rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+    cells: List[List[str]] = [[str(h) for h in headers]] + [
+        [format_cell(c, precision) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Android OS model: image inventory, profiling, customization, boot."""
+
+from .boot import (
+    VM_CPU_TAX,
+    VM_IO_TAX,
+    BootSequence,
+    BootStage,
+    container_boot_sequence,
+    device_boot_sequence,
+    vm_boot_sequence,
+)
+from .customize import CustomizedOS, StripReport, customize_os
+from .image import (
+    ANDROID_44_CATEGORIES,
+    AndroidImage,
+    CategorySpec,
+    build_android_image,
+)
+from .profiler import AccessProfiler, RedundancyReport, redundancy_report
+from .services import (
+    ANDROID_SERVICES,
+    FAKED_INTERFACES,
+    FULL_INIT_SERVICES,
+    OFFLOAD_INIT_SERVICES,
+    ServiceRegistry,
+    ServiceSpec,
+    init_userspace_time,
+)
+
+__all__ = [
+    "AndroidImage",
+    "CategorySpec",
+    "ANDROID_44_CATEGORIES",
+    "build_android_image",
+    "AccessProfiler",
+    "RedundancyReport",
+    "redundancy_report",
+    "CustomizedOS",
+    "StripReport",
+    "customize_os",
+    "BootStage",
+    "BootSequence",
+    "vm_boot_sequence",
+    "container_boot_sequence",
+    "device_boot_sequence",
+    "VM_CPU_TAX",
+    "VM_IO_TAX",
+    "ServiceSpec",
+    "ServiceRegistry",
+    "ANDROID_SERVICES",
+    "FULL_INIT_SERVICES",
+    "OFFLOAD_INIT_SERVICES",
+    "FAKED_INTERFACES",
+    "init_userspace_time",
+]

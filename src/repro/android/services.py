@@ -1,0 +1,180 @@
+"""Android system-service table and init configurations.
+
+§IV-B2/§IV-B3: Rattrap modifies the original ``init`` process and
+strips the OS down to what offloading needs.  Fig. 4 shows the process
+tree inside a Cloud Android Container: ``init``, ``netd``, ``vold``,
+``servicemanager``, ``zygote``, ``system_server`` and Rattrap's own
+``offloadcontroller``.  Stripped services whose invocation is
+unavoidable are *faked* — "we fake the key interfaces with direct
+returns so that the system will not find the absences".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+__all__ = [
+    "ServiceSpec",
+    "ANDROID_SERVICES",
+    "FULL_INIT_SERVICES",
+    "OFFLOAD_INIT_SERVICES",
+    "FAKED_INTERFACES",
+    "init_userspace_time",
+    "ServiceRegistry",
+]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One service started by init.
+
+    ``start_cost_s`` is the native (non-virtualized) CPU time the
+    service start contributes to boot.  ``essential`` marks services the
+    customized OS must keep; the rest are stripped and, if their
+    interfaces are still invoked, faked.
+    """
+
+    name: str
+    start_cost_s: float
+    essential: bool
+    description: str = ""
+
+    def __post_init__(self):
+        if self.start_cost_s < 0:
+            raise ValueError(f"{self.name}: start cost must be >= 0")
+
+
+#: Boot costs calibrated so that
+#:   full set       -> 5.90 s native userspace boot (CAC non-optimized)
+#:   offload subset -> 1.20 s (CAC optimized, modified init + lite zygote)
+ANDROID_SERVICES: Dict[str, ServiceSpec] = {
+    s.name: s
+    for s in [
+        ServiceSpec("servicemanager", 0.05, True, "Binder context manager"),
+        ServiceSpec("netd", 0.15, True, "network daemon"),
+        ServiceSpec("vold", 0.10, True, "volume daemon"),
+        ServiceSpec("zygote", 2.45, True, "app-process incubator (full preload)"),
+        ServiceSpec("system_server", 1.40, True, "core system services host"),
+        ServiceSpec("surfaceflinger", 0.55, False, "display compositor"),
+        ServiceSpec("bootanim", 0.25, False, "boot animation"),
+        ServiceSpec("rild", 0.30, False, "radio interface layer (telephony)"),
+        ServiceSpec("mediaserver", 0.30, False, "audio/video services"),
+        ServiceSpec("installd", 0.05, False, "package install helper"),
+        ServiceSpec("keystore", 0.05, False, "credential storage"),
+        ServiceSpec("drmserver", 0.10, False, "DRM framework"),
+        ServiceSpec("sensorservice", 0.15, False, "sensor HAL host"),
+    ]
+}
+
+#: Services the stock init starts (everything) — native cost 5.90 s.
+FULL_INIT_SERVICES: FrozenSet[str] = frozenset(ANDROID_SERVICES)
+
+#: Fig. 4's container process list.  The modified init starts essential
+#: services only, with a slimmed zygote preload and lighter
+#: system_server; Rattrap's offloadcontroller is added.  Native 1.20 s.
+OFFLOAD_INIT_SERVICES: FrozenSet[str] = frozenset(
+    {
+        "servicemanager",
+        "netd",
+        "vold",
+        "zygote-lite",
+        "system_server-lite",
+        "offloadcontroller",
+    }
+)
+
+#: Lightweight replacements used by the modified init.
+_LITE_SERVICES: Dict[str, ServiceSpec] = {
+    "zygote-lite": ServiceSpec(
+        "zygote-lite", 0.50, True, "zygote with stripped class/resource preload"
+    ),
+    "system_server-lite": ServiceSpec(
+        "system_server-lite", 0.25, True, "system_server without UI/telephony services"
+    ),
+    "offloadcontroller": ServiceSpec(
+        "offloadcontroller", 0.15, True, "Rattrap offload execution agent"
+    ),
+}
+
+#: Interfaces of stripped services that offloaded code may still call;
+#: the customized OS fakes them with direct returns (§IV-B3).
+FAKED_INTERFACES: FrozenSet[str] = frozenset(
+    {
+        "android.view.WindowManager",
+        "android.view.SurfaceControl",
+        "android.telephony.TelephonyManager",
+        "android.hardware.SensorManager",
+        "android.hardware.Camera",
+        "android.media.AudioManager",
+        "android.app.WallpaperManager",
+        "android.os.Vibrator",
+    }
+)
+
+
+def _lookup(name: str) -> ServiceSpec:
+    spec = ANDROID_SERVICES.get(name) or _LITE_SERVICES.get(name)
+    if spec is None:
+        raise KeyError(f"unknown service {name!r}")
+    return spec
+
+
+def init_userspace_time(services: FrozenSet[str]) -> float:
+    """Sequential init cost of starting ``services`` (seconds, native)."""
+    return round(sum(_lookup(n).start_cost_s for n in services), 6)
+
+
+class ServiceRegistry:
+    """Runtime service state inside one Android environment.
+
+    Tracks which services are running and answers interface calls —
+    faking stripped interfaces instead of crashing, which is the
+    observable behaviour §IV-B3 requires.
+    """
+
+    def __init__(self, started: FrozenSet[str], faked: FrozenSet[str] = FAKED_INTERFACES):
+        self._started = set(started)
+        self._faked = set(faked)
+        self.fake_calls: Dict[str, int] = {}
+
+    def is_running(self, name: str) -> bool:
+        """Is the named service up in this environment?"""
+        return name in self._started
+
+    def running(self) -> List[str]:
+        """Sorted names of running services."""
+        return sorted(self._started)
+
+    def stop(self, name: str) -> None:
+        """Stop a running service (KeyError if not running)."""
+        if name not in self._started:
+            raise KeyError(f"service {name!r} not running")
+        self._started.discard(name)
+
+    def call_interface(self, interface: str) -> str:
+        """Invoke a framework interface.
+
+        Returns ``"ok"`` if a real service backs it, ``"faked"`` if the
+        customized OS stubs it, raises if it is genuinely absent.
+        """
+        backing = {
+            "android.view.WindowManager": "surfaceflinger",
+            "android.view.SurfaceControl": "surfaceflinger",
+            "android.telephony.TelephonyManager": "rild",
+            "android.hardware.SensorManager": "sensorservice",
+            "android.hardware.Camera": "mediaserver",
+            "android.media.AudioManager": "mediaserver",
+            "android.app.WallpaperManager": "system_server",
+            "android.os.Vibrator": "system_server",
+        }
+        service = backing.get(interface)
+        if service is not None and service in self._started:
+            return "ok"
+        if interface in self._faked:
+            self.fake_calls[interface] = self.fake_calls.get(interface, 0) + 1
+            return "faked"
+        raise RuntimeError(
+            f"interface {interface!r} has no backing service and is not faked "
+            "(this is the crash OS customization must avoid)"
+        )

@@ -1,0 +1,75 @@
+"""Real executable mini-kernels for the four benchmark workloads.
+
+These are genuine implementations (not timing stubs): an LU-solve
+Linpack, an alpha-beta chess engine, an Aho–Corasick virus scanner and
+a template-matching OCR pipeline.  Examples and benchmarks use them to
+exercise actual offloadable computation.
+"""
+
+from .chess import (
+    Board,
+    ChessEngine,
+    Move,
+    SearchResult,
+    START_FEN,
+    TranspositionTable,
+    zobrist_hash,
+)
+from .linpack import (
+    LinpackResult,
+    linpack_benchmark,
+    linpack_solve,
+    lu_factor,
+    lu_factor_blocked,
+    lu_solve,
+)
+from .ocr import (
+    GLYPHS,
+    OcrEngine,
+    OcrResult,
+    otsu_threshold,
+    evaluate_accuracy,
+    render_document,
+    render_text,
+    segment_columns,
+    segment_rows,
+)
+from .virusscan import (
+    AhoCorasick,
+    ScanReport,
+    Signature,
+    SignatureDatabase,
+    StreamMatcher,
+    VirusScanner,
+)
+
+__all__ = [
+    "Board",
+    "Move",
+    "ChessEngine",
+    "SearchResult",
+    "TranspositionTable",
+    "zobrist_hash",
+    "START_FEN",
+    "lu_factor",
+    "lu_factor_blocked",
+    "lu_solve",
+    "linpack_solve",
+    "linpack_benchmark",
+    "LinpackResult",
+    "OcrEngine",
+    "OcrResult",
+    "render_text",
+    "render_document",
+    "evaluate_accuracy",
+    "segment_rows",
+    "otsu_threshold",
+    "segment_columns",
+    "GLYPHS",
+    "AhoCorasick",
+    "StreamMatcher",
+    "Signature",
+    "SignatureDatabase",
+    "VirusScanner",
+    "ScanReport",
+]

@@ -1,0 +1,747 @@
+"""ChessGame: a complete chess engine (CuckooChess stand-in).
+
+The paper's game workload offloads move search from an Android port of
+the CuckooChess engine.  This module implements a real engine from
+scratch: full legal move generation (castling, en passant, promotion),
+material + piece-square evaluation, and alpha-beta search with move
+ordering and a simple quiescence extension for captures.
+
+Board layout: squares 0..63, a1 = 0, h8 = 63.  White pieces are
+uppercase, black lowercase, ``.`` is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Board", "Move", "ChessEngine", "SearchResult", "GameRecord",
+           "START_FEN", "TranspositionTable", "zobrist_hash"]
+
+START_FEN = "rnbqkbnr/pppppppp/8/8/8/8/PPPPPPPP/RNBQKBNR w KQkq - 0 1"
+
+_PIECE_VALUES = {"P": 100, "N": 320, "B": 330, "R": 500, "Q": 900, "K": 0}
+
+# Piece-square tables (white perspective, a1 first), condensed classics.
+_PST_PAWN = [
+    0, 0, 0, 0, 0, 0, 0, 0,
+    5, 10, 10, -20, -20, 10, 10, 5,
+    5, -5, -10, 0, 0, -10, -5, 5,
+    0, 0, 0, 20, 20, 0, 0, 0,
+    5, 5, 10, 25, 25, 10, 5, 5,
+    10, 10, 20, 30, 30, 20, 10, 10,
+    50, 50, 50, 50, 50, 50, 50, 50,
+    0, 0, 0, 0, 0, 0, 0, 0,
+]
+_PST_KNIGHT = [
+    -50, -40, -30, -30, -30, -30, -40, -50,
+    -40, -20, 0, 5, 5, 0, -20, -40,
+    -30, 5, 10, 15, 15, 10, 5, -30,
+    -30, 0, 15, 20, 20, 15, 0, -30,
+    -30, 5, 15, 20, 20, 15, 5, -30,
+    -30, 0, 10, 15, 15, 10, 0, -30,
+    -40, -20, 0, 0, 0, 0, -20, -40,
+    -50, -40, -30, -30, -30, -30, -40, -50,
+]
+_PST_BISHOP = [
+    -20, -10, -10, -10, -10, -10, -10, -20,
+    -10, 5, 0, 0, 0, 0, 5, -10,
+    -10, 10, 10, 10, 10, 10, 10, -10,
+    -10, 0, 10, 10, 10, 10, 0, -10,
+    -10, 5, 5, 10, 10, 5, 5, -10,
+    -10, 0, 5, 10, 10, 5, 0, -10,
+    -10, 0, 0, 0, 0, 0, 0, -10,
+    -20, -10, -10, -10, -10, -10, -10, -20,
+]
+_PST_KING = [
+    20, 30, 10, 0, 0, 10, 30, 20,
+    20, 20, 0, 0, 0, 0, 20, 20,
+    -10, -20, -20, -20, -20, -20, -20, -10,
+    -20, -30, -30, -40, -40, -30, -30, -20,
+    -30, -40, -40, -50, -50, -40, -40, -30,
+    -30, -40, -40, -50, -50, -40, -40, -30,
+    -30, -40, -40, -50, -50, -40, -40, -30,
+    -30, -40, -40, -50, -50, -40, -40, -30,
+]
+_PST = {"P": _PST_PAWN, "N": _PST_KNIGHT, "B": _PST_BISHOP, "K": _PST_KING}
+
+_KNIGHT_STEPS = ((1, 2), (2, 1), (2, -1), (1, -2), (-1, -2), (-2, -1), (-2, 1), (-1, 2))
+_KING_STEPS = ((0, 1), (1, 1), (1, 0), (1, -1), (0, -1), (-1, -1), (-1, 0), (-1, 1))
+_BISHOP_DIRS = ((1, 1), (1, -1), (-1, -1), (-1, 1))
+_ROOK_DIRS = ((0, 1), (1, 0), (0, -1), (-1, 0))
+
+_MATE = 100_000
+
+
+def _sq(file: int, rank: int) -> int:
+    return rank * 8 + file
+
+
+def square_name(sq: int) -> str:
+    return "abcdefgh"[sq % 8] + str(sq // 8 + 1)
+
+
+@dataclass(frozen=True)
+class Move:
+    """One chess move."""
+
+    src: int
+    dst: int
+    promotion: str = ""  # 'Q','R','B','N' (case adjusted on make)
+    is_en_passant: bool = False
+    is_castle: bool = False
+
+    def uci(self) -> str:
+        """The move in UCI notation, e.g. 'e2e4' or 'a7a8q'."""
+        return square_name(self.src) + square_name(self.dst) + self.promotion.lower()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Move({self.uci()})"
+
+
+class Board:
+    """Mutable chess position with full rules."""
+
+    def __init__(self, fen: str = START_FEN):
+        self.squares: List[str] = ["."] * 64
+        self.white_to_move = True
+        self.castling = ""
+        self.ep_square: Optional[int] = None
+        self.halfmove_clock = 0
+        self.fullmove = 1
+        self._parse_fen(fen)
+
+    # -- FEN ----------------------------------------------------------------
+    def _parse_fen(self, fen: str) -> None:
+        parts = fen.split()
+        if len(parts) < 4:
+            raise ValueError(f"bad FEN: {fen!r}")
+        rows = parts[0].split("/")
+        if len(rows) != 8:
+            raise ValueError(f"bad FEN board: {parts[0]!r}")
+        for rank_idx, row in enumerate(rows):
+            rank = 7 - rank_idx
+            file = 0
+            for ch in row:
+                if ch.isdigit():
+                    file += int(ch)
+                elif ch.upper() in _PIECE_VALUES:
+                    if file > 7:
+                        raise ValueError(f"FEN rank overflow: {row!r}")
+                    self.squares[_sq(file, rank)] = ch
+                    file += 1
+                else:
+                    raise ValueError(f"bad FEN piece {ch!r}")
+            if file != 8:
+                raise ValueError(f"FEN rank underflow: {row!r}")
+        self.white_to_move = parts[1] == "w"
+        self.castling = parts[2] if parts[2] != "-" else ""
+        self.ep_square = (
+            None if parts[3] == "-" else _sq("abcdefgh".index(parts[3][0]), int(parts[3][1]) - 1)
+        )
+        self.halfmove_clock = int(parts[4]) if len(parts) > 4 else 0
+        self.fullmove = int(parts[5]) if len(parts) > 5 else 1
+
+    def fen(self) -> str:
+        """Serialize the position as a FEN string."""
+        rows = []
+        for rank in range(7, -1, -1):
+            row, empty = "", 0
+            for file in range(8):
+                piece = self.squares[_sq(file, rank)]
+                if piece == ".":
+                    empty += 1
+                else:
+                    if empty:
+                        row += str(empty)
+                        empty = 0
+                    row += piece
+            if empty:
+                row += str(empty)
+            rows.append(row)
+        ep = square_name(self.ep_square) if self.ep_square is not None else "-"
+        return " ".join(
+            [
+                "/".join(rows),
+                "w" if self.white_to_move else "b",
+                self.castling or "-",
+                ep,
+                str(self.halfmove_clock),
+                str(self.fullmove),
+            ]
+        )
+
+    # -- helpers ------------------------------------------------------------
+    def _own(self, piece: str, white: bool) -> bool:
+        return piece != "." and (piece.isupper() == white)
+
+    def king_square(self, white: bool) -> int:
+        """Square index of the given side's king."""
+        target = "K" if white else "k"
+        return self.squares.index(target)
+
+    def is_attacked(self, sq: int, by_white: bool) -> bool:
+        """Is ``sq`` attacked by the given side?"""
+        file, rank = sq % 8, sq // 8
+        # Pawn attacks.
+        pawn = "P" if by_white else "p"
+        dr = -1 if by_white else 1  # attacker sits one rank behind its strike
+        for df in (-1, 1):
+            f, r = file + df, rank + dr
+            if 0 <= f < 8 and 0 <= r < 8 and self.squares[_sq(f, r)] == pawn:
+                return True
+        # Knight attacks.
+        knight = "N" if by_white else "n"
+        for df, dr in _KNIGHT_STEPS:
+            f, r = file + df, rank + dr
+            if 0 <= f < 8 and 0 <= r < 8 and self.squares[_sq(f, r)] == knight:
+                return True
+        # King adjacency.
+        king = "K" if by_white else "k"
+        for df, dr in _KING_STEPS:
+            f, r = file + df, rank + dr
+            if 0 <= f < 8 and 0 <= r < 8 and self.squares[_sq(f, r)] == king:
+                return True
+        # Sliding attacks.
+        for dirs, sliders in (
+            (_BISHOP_DIRS, ("B", "Q") if by_white else ("b", "q")),
+            (_ROOK_DIRS, ("R", "Q") if by_white else ("r", "q")),
+        ):
+            for df, dr in dirs:
+                f, r = file + df, rank + dr
+                while 0 <= f < 8 and 0 <= r < 8:
+                    piece = self.squares[_sq(f, r)]
+                    if piece != ".":
+                        if piece in sliders:
+                            return True
+                        break
+                    f += df
+                    r += dr
+        return False
+
+    def in_check(self, white: Optional[bool] = None) -> bool:
+        """Is the given side (default: side to move) in check?"""
+        side = self.white_to_move if white is None else white
+        return self.is_attacked(self.king_square(side), by_white=not side)
+
+    # -- move generation -----------------------------------------------------
+    def pseudo_legal_moves(self) -> Iterator[Move]:
+        """All moves ignoring king safety (filtered by legal_moves)."""
+        white = self.white_to_move
+        for src in range(64):
+            piece = self.squares[src]
+            if not self._own(piece, white):
+                continue
+            kind = piece.upper()
+            file, rank = src % 8, src // 8
+            if kind == "P":
+                yield from self._pawn_moves(src, file, rank, white)
+            elif kind == "N":
+                yield from self._step_moves(src, file, rank, white, _KNIGHT_STEPS)
+            elif kind == "K":
+                yield from self._step_moves(src, file, rank, white, _KING_STEPS)
+                yield from self._castle_moves(white)
+            elif kind == "B":
+                yield from self._slide_moves(src, file, rank, white, _BISHOP_DIRS)
+            elif kind == "R":
+                yield from self._slide_moves(src, file, rank, white, _ROOK_DIRS)
+            elif kind == "Q":
+                yield from self._slide_moves(
+                    src, file, rank, white, _BISHOP_DIRS + _ROOK_DIRS
+                )
+
+    def _pawn_moves(self, src: int, file: int, rank: int, white: bool) -> Iterator[Move]:
+        step = 1 if white else -1
+        start_rank = 1 if white else 6
+        promo_rank = 7 if white else 0
+        one = _sq(file, rank + step)
+        if 0 <= rank + step < 8 and self.squares[one] == ".":
+            if (rank + step) == promo_rank:
+                for promo in "QRBN":
+                    yield Move(src, one, promotion=promo)
+            else:
+                yield Move(src, one)
+                two_rank = rank + 2 * step
+                if rank == start_rank and self.squares[_sq(file, two_rank)] == ".":
+                    yield Move(src, _sq(file, two_rank))
+        for df in (-1, 1):
+            f, r = file + df, rank + step
+            if not (0 <= f < 8 and 0 <= r < 8):
+                continue
+            dst = _sq(f, r)
+            target = self.squares[dst]
+            if target != "." and self._own(target, not white):
+                if r == promo_rank:
+                    for promo in "QRBN":
+                        yield Move(src, dst, promotion=promo)
+                else:
+                    yield Move(src, dst)
+            elif dst == self.ep_square:
+                yield Move(src, dst, is_en_passant=True)
+
+    def _step_moves(self, src, file, rank, white, steps) -> Iterator[Move]:
+        for df, dr in steps:
+            f, r = file + df, rank + dr
+            if 0 <= f < 8 and 0 <= r < 8:
+                dst = _sq(f, r)
+                if not self._own(self.squares[dst], white):
+                    yield Move(src, dst)
+
+    def _slide_moves(self, src, file, rank, white, dirs) -> Iterator[Move]:
+        for df, dr in dirs:
+            f, r = file + df, rank + dr
+            while 0 <= f < 8 and 0 <= r < 8:
+                dst = _sq(f, r)
+                piece = self.squares[dst]
+                if piece == ".":
+                    yield Move(src, dst)
+                else:
+                    if self._own(piece, not white):
+                        yield Move(src, dst)
+                    break
+                f += df
+                r += dr
+
+    def _castle_moves(self, white: bool) -> Iterator[Move]:
+        if self.in_check(white):
+            return
+        rank = 0 if white else 7
+        king_sq = _sq(4, rank)
+        if self.squares[king_sq] != ("K" if white else "k"):
+            return
+        rights = ("K", "Q") if white else ("k", "q")
+        # King side: e-f-g empty, f and g not attacked.
+        if rights[0] in self.castling:
+            if (
+                self.squares[_sq(5, rank)] == "."
+                and self.squares[_sq(6, rank)] == "."
+                and not self.is_attacked(_sq(5, rank), not white)
+                and not self.is_attacked(_sq(6, rank), not white)
+            ):
+                yield Move(king_sq, _sq(6, rank), is_castle=True)
+        # Queen side: b-c-d empty, c and d not attacked.
+        if rights[1] in self.castling:
+            if (
+                self.squares[_sq(1, rank)] == "."
+                and self.squares[_sq(2, rank)] == "."
+                and self.squares[_sq(3, rank)] == "."
+                and not self.is_attacked(_sq(2, rank), not white)
+                and not self.is_attacked(_sq(3, rank), not white)
+            ):
+                yield Move(king_sq, _sq(2, rank), is_castle=True)
+
+    def legal_moves(self) -> List[Move]:
+        """Pseudo-legal moves filtered through king safety."""
+        moves = []
+        for move in self.pseudo_legal_moves():
+            if self.squares[move.dst] in ("K", "k"):
+                # Only reachable from an illegal position (opponent
+                # already in check); never let a king be captured.
+                continue
+            undo = self.make_move(move)
+            if not self.in_check(white=not self.white_to_move):
+                moves.append(move)
+            self.undo_move(undo)
+        return moves
+
+    # -- make / undo ---------------------------------------------------------
+    def make_move(self, move: Move):
+        """Apply ``move``; returns an opaque undo record."""
+        undo = (
+            move,
+            self.squares[move.dst],
+            self.castling,
+            self.ep_square,
+            self.halfmove_clock,
+        )
+        piece = self.squares[move.src]
+        white = self.white_to_move
+        captured = self.squares[move.dst]
+        self.squares[move.src] = "."
+        self.squares[move.dst] = piece
+        if move.promotion:
+            self.squares[move.dst] = (
+                move.promotion.upper() if white else move.promotion.lower()
+            )
+        if move.is_en_passant:
+            self.squares[move.dst + (-8 if white else 8)] = "."
+        if move.is_castle:
+            rank = move.dst // 8
+            if move.dst % 8 == 6:  # king side: rook h->f
+                self.squares[_sq(7, rank)] = "."
+                self.squares[_sq(5, rank)] = "R" if white else "r"
+            else:  # queen side: rook a->d
+                self.squares[_sq(0, rank)] = "."
+                self.squares[_sq(3, rank)] = "R" if white else "r"
+        # Castling-rights bookkeeping.
+        rights = self.castling
+        for lost_sq, flag in (
+            (_sq(4, 0), "KQ"), (_sq(7, 0), "K"), (_sq(0, 0), "Q"),
+            (_sq(4, 7), "kq"), (_sq(7, 7), "k"), (_sq(0, 7), "q"),
+        ):
+            if move.src == lost_sq or move.dst == lost_sq:
+                for ch in flag:
+                    rights = rights.replace(ch, "")
+        self.castling = rights
+        # En passant square.
+        if piece.upper() == "P" and abs(move.dst - move.src) == 16:
+            self.ep_square = (move.src + move.dst) // 2
+        else:
+            self.ep_square = None
+        # Clocks.
+        if piece.upper() == "P" or captured != ".":
+            self.halfmove_clock = 0
+        else:
+            self.halfmove_clock += 1
+        if not white:
+            self.fullmove += 1
+        self.white_to_move = not white
+        return undo
+
+    def undo_move(self, undo) -> None:
+        """Revert the move recorded in ``undo`` (from make_move)."""
+        move, captured, castling, ep, halfmove = undo
+        self.white_to_move = not self.white_to_move
+        white = self.white_to_move
+        piece = self.squares[move.dst]
+        if move.promotion:
+            piece = "P" if white else "p"
+        self.squares[move.src] = piece
+        self.squares[move.dst] = captured
+        if move.is_en_passant:
+            self.squares[move.dst + (-8 if white else 8)] = "p" if white else "P"
+        if move.is_castle:
+            rank = move.dst // 8
+            if move.dst % 8 == 6:
+                self.squares[_sq(5, rank)] = "."
+                self.squares[_sq(7, rank)] = "R" if white else "r"
+            else:
+                self.squares[_sq(3, rank)] = "."
+                self.squares[_sq(0, rank)] = "R" if white else "r"
+        self.castling = castling
+        self.ep_square = ep
+        self.halfmove_clock = halfmove
+        if not white:
+            self.fullmove -= 1
+
+    # -- evaluation --------------------------------------------------------------
+    def evaluate(self) -> int:
+        """Static evaluation in centipawns from the side to move's view."""
+        score = 0
+        for sq, piece in enumerate(self.squares):
+            if piece == ".":
+                continue
+            kind = piece.upper()
+            value = _PIECE_VALUES[kind]
+            pst = _PST.get(kind)
+            if piece.isupper():
+                score += value + (pst[sq] if pst else 0)
+            else:
+                mirror = _sq(sq % 8, 7 - sq // 8)
+                score -= value + (pst[mirror] if pst else 0)
+        return score if self.white_to_move else -score
+
+    def parse_uci(self, uci: str) -> Move:
+        """Resolve a UCI string ('e2e4', 'a7a8q') to a legal move here."""
+        uci = uci.strip().lower()
+        if len(uci) not in (4, 5):
+            raise ValueError(f"bad UCI move {uci!r}")
+        for move in self.legal_moves():
+            if move.uci() == uci:
+                return move
+        raise ValueError(f"{uci!r} is not legal in {self.fen()!r}")
+
+    def apply_uci(self, moves: "str | List[str]") -> None:
+        """Play a whitespace-separated (or listed) UCI move sequence."""
+        if isinstance(moves, str):
+            moves = moves.split()
+        for uci in moves:
+            self.make_move(self.parse_uci(uci))
+
+    def perft(self, depth: int) -> int:
+        """Node count for move-generator validation."""
+        if depth == 0:
+            return 1
+        total = 0
+        for move in self.legal_moves():
+            undo = self.make_move(move)
+            total += self.perft(depth - 1)
+            self.undo_move(undo)
+        return total
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one engine search."""
+
+    best_move: Optional[Move]
+    score: int
+    nodes: int
+    depth: int
+
+
+@dataclass
+class GameRecord:
+    """A finished (or capped) game."""
+
+    moves: List[Move]
+    result: str  # "1-0", "0-1", "1/2-1/2", or "*" (unfinished)
+    reason: str
+    final_fen: str
+
+    def pgn_moves(self) -> str:
+        """Space-separated UCI move list (a minimal game record)."""
+        return " ".join(m.uci() for m in self.moves)
+
+
+# ---------------------------------------------------------------------------
+# Zobrist hashing + transposition table
+# ---------------------------------------------------------------------------
+
+def _zobrist_tables():
+    """Deterministic 64-bit random keys for positions."""
+    import numpy as np
+
+    rng = np.random.default_rng(0xC0FFEE)
+    pieces = "PNBRQKpnbrqk"
+    piece_keys = {
+        piece: [int(x) for x in rng.integers(0, 2**63, size=64, dtype=np.int64)]
+        for piece in pieces
+    }
+    side_key = int(rng.integers(0, 2**63, dtype=np.int64))
+    castle_keys = {
+        flag: int(rng.integers(0, 2**63, dtype=np.int64)) for flag in "KQkq"
+    }
+    ep_keys = [int(x) for x in rng.integers(0, 2**63, size=8, dtype=np.int64)]
+    return piece_keys, side_key, castle_keys, ep_keys
+
+
+_PIECE_KEYS, _SIDE_KEY, _CASTLE_KEYS, _EP_KEYS = _zobrist_tables()
+
+
+def zobrist_hash(board: Board) -> int:
+    """Position hash (piece placement, side, castling, en passant)."""
+    h = 0
+    for sq, piece in enumerate(board.squares):
+        if piece != ".":
+            h ^= _PIECE_KEYS[piece][sq]
+    if board.white_to_move:
+        h ^= _SIDE_KEY
+    for flag in board.castling:
+        h ^= _CASTLE_KEYS[flag]
+    if board.ep_square is not None:
+        h ^= _EP_KEYS[board.ep_square % 8]
+    return h
+
+
+#: transposition-table entry flags
+TT_EXACT, TT_LOWER, TT_UPPER = 0, 1, 2
+
+
+class TranspositionTable:
+    """Bounded depth-preferred transposition table."""
+
+    def __init__(self, max_entries: int = 1 << 16):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._table: dict = {}
+        self.hits = 0
+        self.probes = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def probe(self, key: int, depth: int, alpha: int, beta: int):
+        """Return a usable score, or None on miss/insufficient depth."""
+        self.probes += 1
+        entry = self._table.get(key)
+        if entry is None or entry[0] < depth:
+            return None
+        _, flag, score = entry
+        if flag == TT_EXACT:
+            self.hits += 1
+            return score
+        if flag == TT_LOWER and score >= beta:
+            self.hits += 1
+            return score
+        if flag == TT_UPPER and score <= alpha:
+            self.hits += 1
+            return score
+        return None
+
+    def store(self, key: int, depth: int, flag: int, score: int) -> None:
+        """Record a search result (depth-preferred replacement)."""
+        existing = self._table.get(key)
+        if existing is not None and existing[0] > depth:
+            return  # depth-preferred replacement
+        if len(self._table) >= self.max_entries and key not in self._table:
+            self._table.pop(next(iter(self._table)))  # evict oldest
+        self._table[key] = (depth, flag, score)
+
+    def clear(self) -> None:
+        """Drop every stored entry."""
+        self._table.clear()
+
+
+class ChessEngine:
+    """Alpha-beta searcher with capture-first ordering, quiescence, an
+    optional transposition table and iterative deepening."""
+
+    def __init__(self, max_quiescence_depth: int = 4, use_tt: bool = False,
+                 tt_entries: int = 1 << 16):
+        if max_quiescence_depth < 0:
+            raise ValueError("max_quiescence_depth must be >= 0")
+        self.max_quiescence_depth = max_quiescence_depth
+        self.tt: Optional[TranspositionTable] = (
+            TranspositionTable(tt_entries) if use_tt else None
+        )
+        self.nodes = 0
+
+    def _ordered(self, board: Board) -> List[Move]:
+        def key(move: Move) -> int:
+            victim = board.squares[move.dst]
+            gain = _PIECE_VALUES[victim.upper()] if victim != "." else 0
+            if move.is_en_passant:
+                gain = _PIECE_VALUES["P"]
+            return -(gain * 10 + (100 if move.promotion else 0))
+
+        return sorted(board.legal_moves(), key=key)
+
+    def _quiesce(self, board: Board, alpha: int, beta: int, depth: int) -> int:
+        self.nodes += 1
+        stand = board.evaluate()
+        if stand >= beta or depth == 0:
+            return stand
+        alpha = max(alpha, stand)
+        for move in self._ordered(board):
+            target = board.squares[move.dst]
+            if target == "." and not move.is_en_passant:
+                continue  # captures only
+            undo = board.make_move(move)
+            score = -self._quiesce(board, -beta, -alpha, depth - 1)
+            board.undo_move(undo)
+            if score >= beta:
+                return score
+            alpha = max(alpha, score)
+        return alpha
+
+    def _alphabeta(self, board: Board, depth: int, alpha: int, beta: int) -> int:
+        self.nodes += 1
+        key = None
+        if self.tt is not None and depth >= 1:
+            key = zobrist_hash(board)
+            cached = self.tt.probe(key, depth, alpha, beta)
+            if cached is not None:
+                return cached
+        moves = self._ordered(board)
+        if not moves:
+            if board.in_check():
+                return -_MATE - depth  # prefer faster mates
+            return 0  # stalemate
+        if depth == 0:
+            return self._quiesce(board, alpha, beta, self.max_quiescence_depth)
+        original_alpha = alpha
+        best = -10 * _MATE
+        for move in moves:
+            undo = board.make_move(move)
+            score = -self._alphabeta(board, depth - 1, -beta, -alpha)
+            board.undo_move(undo)
+            if score > best:
+                best = score
+            alpha = max(alpha, score)
+            if alpha >= beta:
+                break
+        if self.tt is not None and key is not None:
+            if best <= original_alpha:
+                flag = TT_UPPER
+            elif best >= beta:
+                flag = TT_LOWER
+            else:
+                flag = TT_EXACT
+            self.tt.store(key, depth, flag, best)
+        return best
+
+    def search(self, board: Board, depth: int = 3) -> SearchResult:
+        """Pick the best move at fixed depth."""
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.nodes = 0
+        best_move: Optional[Move] = None
+        best_score = -10 * _MATE
+        alpha, beta = -10 * _MATE, 10 * _MATE
+        for move in self._ordered(board):
+            undo = board.make_move(move)
+            score = -self._alphabeta(board, depth - 1, -beta, -alpha)
+            board.undo_move(undo)
+            if score > best_score:
+                best_score = score
+                best_move = move
+            alpha = max(alpha, score)
+        return SearchResult(
+            best_move=best_move, score=best_score, nodes=self.nodes, depth=depth
+        )
+
+    def play_game(
+        self,
+        board: Optional[Board] = None,
+        depth: int = 2,
+        max_moves: int = 120,
+        opponent: Optional["ChessEngine"] = None,
+    ) -> "GameRecord":
+        """Self-play (or engine-vs-engine) with standard draw rules.
+
+        Stops on checkmate, stalemate, the 50-move rule, threefold
+        repetition, or the move cap.  Returns the full move list and
+        the game result.
+        """
+        if depth < 1 or max_moves < 1:
+            raise ValueError("depth and max_moves must be >= 1")
+        board = board if board is not None else Board()
+        black = opponent if opponent is not None else self
+        moves: List[Move] = []
+        seen: dict = {}
+        result, reason = "*", "move cap reached"
+        for _ in range(max_moves):
+            legal = board.legal_moves()
+            if not legal:
+                if board.in_check():
+                    result = "0-1" if board.white_to_move else "1-0"
+                    reason = "checkmate"
+                else:
+                    result, reason = "1/2-1/2", "stalemate"
+                break
+            if board.halfmove_clock >= 100:
+                result, reason = "1/2-1/2", "50-move rule"
+                break
+            key = zobrist_hash(board)
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] >= 3:
+                result, reason = "1/2-1/2", "threefold repetition"
+                break
+            engine = self if board.white_to_move else black
+            move = engine.search(board, depth=depth).best_move
+            assert move is not None
+            board.make_move(move)
+            moves.append(move)
+        return GameRecord(moves=moves, result=result, reason=reason,
+                          final_fen=board.fen())
+
+    def search_iterative(self, board: Board, max_depth: int = 4) -> SearchResult:
+        """Iterative deepening: search depth 1..max_depth, keeping the
+        deepest completed result.  With a transposition table enabled,
+        shallower iterations seed cutoffs for deeper ones."""
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        total_nodes = 0
+        result: Optional[SearchResult] = None
+        for depth in range(1, max_depth + 1):
+            result = self.search(board, depth=depth)
+            total_nodes += result.nodes
+        assert result is not None
+        return SearchResult(
+            best_move=result.best_move,
+            score=result.score,
+            nodes=total_nodes,
+            depth=max_depth,
+        )

@@ -1,0 +1,180 @@
+"""Linpack: dense LU solve with partial pivoting, from scratch in NumPy.
+
+The paper's fourth workload is the classic Linpack benchmark ("often
+used to represent pure computation", §III-A).  This module implements
+the real algorithm — factorize ``Ax = b`` by Gaussian elimination with
+partial pivoting, solve, and report the standard Linpack metrics
+(residual check and MFLOPS) — so examples and benchmarks exercise
+genuine offloadable computation rather than a sleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["lu_factor", "lu_factor_blocked", "lu_solve", "linpack_solve",
+           "LinpackResult", "linpack_benchmark"]
+
+
+def lu_factor(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """In-place-style LU factorization with partial pivoting.
+
+    Returns ``(lu, piv)`` where ``lu`` packs L (unit lower, below the
+    diagonal) and U (upper, including the diagonal), and ``piv`` is the
+    pivot row chosen at each step.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    n, m = a.shape
+    if n != m:
+        raise ValueError(f"matrix must be square, got {a.shape}")
+    piv = np.zeros(n, dtype=np.intp)
+    for k in range(n - 1):
+        p = k + int(np.argmax(np.abs(a[k:, k])))
+        piv[k] = p
+        if a[p, k] == 0.0:
+            raise np.linalg.LinAlgError("matrix is singular")
+        if p != k:
+            a[[k, p], :] = a[[p, k], :]
+        a[k + 1 :, k] /= a[k, k]
+        # Rank-1 update of the trailing submatrix (the O(n^3) kernel).
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    piv[n - 1] = n - 1
+    if a[n - 1, n - 1] == 0.0:
+        raise np.linalg.LinAlgError("matrix is singular")
+    return a, piv
+
+
+def lu_solve(lu: np.ndarray, piv: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``Ax = b`` given the packed LU factorization."""
+    n = lu.shape[0]
+    x = np.array(b, dtype=np.float64, copy=True)
+    if x.shape[0] != n:
+        raise ValueError("right-hand side has wrong length")
+    # Apply every row interchange first (LAPACK dlaswp order), then
+    # forward/back substitution — interleaving swaps with elimination
+    # corrupts entries that later swaps would still move.
+    for k in range(n):
+        p = piv[k]
+        if p != k:
+            x[k], x[p] = x[p], x[k]
+    for k in range(n - 1):
+        x[k + 1 :] -= lu[k + 1 :, k] * x[k]
+    for k in range(n - 1, -1, -1):
+        x[k] = (x[k] - lu[k, k + 1 :] @ x[k + 1 :]) / lu[k, k]
+    return x
+
+
+def lu_factor_blocked(a: np.ndarray, block: int = 64) -> Tuple[np.ndarray, np.ndarray]:
+    """Right-looking blocked LU with partial pivoting.
+
+    The classic cache-friendly formulation: factor a ``block``-wide
+    panel with the unblocked kernel, apply its row interchanges across
+    the trailing matrix, triangular-solve the block row, then update
+    the trailing submatrix with one matrix-matrix product (the level-3
+    BLAS operation that dominates and vectorizes).  Produces exactly
+    the same packed LU and pivots as :func:`lu_factor`.
+    """
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    a = np.array(a, dtype=np.float64, copy=True)
+    n, m = a.shape
+    if n != m:
+        raise ValueError(f"matrix must be square, got {a.shape}")
+    piv = np.arange(n, dtype=np.intp)
+    for k0 in range(0, n, block):
+        k1 = min(k0 + block, n)
+        # Factor the panel a[k0:, k0:k1] (unblocked, with pivoting).
+        panel = a[k0:, k0:k1]
+        rows = panel.shape[0]
+        for j in range(k1 - k0):
+            p = j + int(np.argmax(np.abs(panel[j:, j])))
+            if panel[p, j] == 0.0:
+                raise np.linalg.LinAlgError("matrix is singular")
+            piv[k0 + j] = k0 + p
+            if p != j:
+                # Swap full rows of A (panel view included).
+                a[[k0 + j, k0 + p], :] = a[[k0 + p, k0 + j], :]
+            if j + 1 < rows:
+                panel[j + 1 :, j] /= panel[j, j]
+                if j + 1 < k1 - k0:
+                    panel[j + 1 :, j + 1 :] -= np.outer(
+                        panel[j + 1 :, j], panel[j, j + 1 :]
+                    )
+        if k1 < n:
+            # Block row: solve L11 U12 = A12 by forward substitution.
+            l11 = np.tril(a[k0:k1, k0:k1], -1) + np.eye(k1 - k0)
+            a[k0:k1, k1:] = _forward_solve_unit(l11, a[k0:k1, k1:])
+            # Trailing update: A22 -= L21 @ U12 (the level-3 kernel).
+            a[k1:, k1:] -= a[k1:, k0:k1] @ a[k0:k1, k1:]
+    return a, piv
+
+
+def _forward_solve_unit(lower: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``lower @ X = rhs`` for unit-lower-triangular ``lower``."""
+    x = np.array(rhs, dtype=np.float64, copy=True)
+    for i in range(1, lower.shape[0]):
+        x[i, :] -= lower[i, :i] @ x[:i, :]
+    return x
+
+
+def linpack_solve(a: np.ndarray, b: np.ndarray, block: int = 0) -> np.ndarray:
+    """Convenience: factor + solve.
+
+    ``block`` > 0 selects the blocked factorization (same result,
+    better cache behaviour for large systems).
+    """
+    if block > 0:
+        lu, piv = lu_factor_blocked(a, block=block)
+    else:
+        lu, piv = lu_factor(a)
+    return lu_solve(lu, piv, b)
+
+
+@dataclass(frozen=True)
+class LinpackResult:
+    """Standard Linpack report."""
+
+    n: int
+    elapsed_s: float
+    mflops: float
+    residual: float
+    normalized_residual: float
+
+    @property
+    def passed(self) -> bool:
+        """The canonical acceptance test: normalized residual O(1)."""
+        return self.normalized_residual < 16.0
+
+
+def linpack_benchmark(n: int = 500, seed: int = 0) -> LinpackResult:
+    """Run the Linpack benchmark for an ``n x n`` system.
+
+    Flop count uses the conventional ``2/3 n^3 + 2 n^2``.
+    """
+    import time
+
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-0.5, 0.5, size=(n, n))
+    x_true = np.ones(n)
+    b = a @ x_true
+    t0 = time.perf_counter()
+    x = linpack_solve(a, b)
+    elapsed = time.perf_counter() - t0
+    flops = (2.0 / 3.0) * n**3 + 2.0 * n**2
+    residual = float(np.max(np.abs(a @ x - b)))
+    eps = np.finfo(np.float64).eps
+    norm_a = float(np.linalg.norm(a, ord=np.inf))
+    norm_x = float(np.linalg.norm(x, ord=np.inf))
+    normalized = residual / (norm_a * norm_x * n * eps)
+    return LinpackResult(
+        n=n,
+        elapsed_s=elapsed,
+        mflops=flops / elapsed / 1e6 if elapsed > 0 else float("inf"),
+        residual=residual,
+        normalized_residual=normalized,
+    )

@@ -1,0 +1,99 @@
+"""Battery-lifetime extension experiment (abstract: "thus saving the
+battery life").
+
+Replays one day of LiveLab-style ChessGame sessions and charges each
+handset's battery for its offloading activity, versus executing every
+session locally.  The per-day energy translates into how much of a
+typical ~12 Wh handset battery the app consumes under each strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis import render_table
+from ..network import make_link
+from ..offload import MobileDevice, PowerModel
+from ..sim import Environment
+from ..traces import LiveLabConfig, generate_livelab_trace, replay_trace, trace_to_plans
+from ..workloads import CHESS_GAME
+from .common import PLATFORM_NAMES, build_platform
+
+__all__ = ["run", "report"]
+
+BATTERY_WH = 12.0  # ~3.2 Ah at 3.7 V
+BATTERY_J = BATTERY_WH * 3600
+
+
+def run(seed: int = 7, users: int = 5, days: float = 1.0) -> Dict[str, dict]:
+    """Per-strategy daily energy for the app's offloading traffic."""
+    trace = generate_livelab_trace(
+        LiveLabConfig(users=users, days=days), apps=(CHESS_GAME.name,), seed=seed
+    )
+    power = PowerModel()
+    data: Dict[str, dict] = {}
+
+    # Local baseline: every access runs on the handset.
+    local_j = len(trace) / users * power.local_energy(CHESS_GAME).total_j
+    data["local"] = {
+        "joules_per_device_day": local_j / days,
+        "battery_pct_per_day": 100 * local_j / days / BATTERY_J,
+    }
+
+    for platform_name in PLATFORM_NAMES:
+        env = Environment()
+        platform = build_platform(env, platform_name)
+        plans = trace_to_plans(trace, CHESS_GAME, seed=seed)
+        users_list = sorted({p.device_id for p in plans})
+        links = {
+            u: make_link("lan-wifi", rng=np.random.default_rng(seed + i))
+            for i, u in enumerate(users_list)
+        }
+        devices = {
+            u: MobileDevice(u, links[u], power_model=power, battery_joules=BATTERY_J)
+            for u in users_list
+        }
+        replay_trace(env, platform, plans, links, idle_timeout_s=120.0,
+                     devices=devices)
+        per_device_j = np.mean([d.energy_used_j for d in devices.values()])
+        data[platform_name] = {
+            "joules_per_device_day": float(per_device_j) / days,
+            "battery_pct_per_day": 100 * float(per_device_j) / days / BATTERY_J,
+        }
+    return data
+
+
+def report(data: Dict[str, dict]) -> str:
+    """Render the daily battery-impact table."""
+    local = data["local"]
+    rows = []
+    for name in ("local", "vm", "rattrap-wo", "rattrap"):
+        d = data[name]
+        rows.append(
+            [
+                name,
+                d["joules_per_device_day"],
+                d["battery_pct_per_day"],
+                local["joules_per_device_day"] / d["joules_per_device_day"],
+            ]
+        )
+    table = render_table(
+        ["strategy", "J / device / day", "battery % / day", "savings vs local"],
+        rows,
+        title=(
+            "Battery impact of a day of ChessGame sessions "
+            f"(~{BATTERY_WH:.0f} Wh battery)"
+        ),
+    )
+    vm = data["vm"]["joules_per_device_day"]
+    rt = data["rattrap"]["joules_per_device_day"]
+    return table + (
+        f"\n\nRattrap consumes {100 * (1 - rt / vm):.0f} % less device energy "
+        "than the VM cloud for the same offloaded work."
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

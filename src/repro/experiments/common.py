@@ -1,0 +1,103 @@
+"""Shared scaffolding for the paper-reproduction experiments.
+
+Every experiment builds platforms the same way, replays the same
+seeded inflow, and reports through :mod:`repro.analysis`.  The three
+platform names mirror §VI-A: ``vm`` (Android-x86/VirtualBox cloud),
+``rattrap-wo`` (containers only) and ``rattrap`` (all optimizations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network import make_link
+from ..offload import MobileDevice, PowerModel, RequestResult, run_inflow_experiment
+from ..platform import CloudPlatform, RattrapPlatform, VMCloudPlatform
+from ..sim import Environment
+from ..workloads import WorkloadProfile, generate_inflow
+
+__all__ = [
+    "PLATFORM_NAMES",
+    "build_platform",
+    "ExperimentRun",
+    "run_workload_experiment",
+    "DEVICES",
+    "REQUESTS_PER_DEVICE",
+]
+
+PLATFORM_NAMES: Tuple[str, ...] = ("vm", "rattrap-wo", "rattrap")
+
+#: The evaluation's client population (§VI-C).
+DEVICES = 5
+REQUESTS_PER_DEVICE = 20
+
+
+def build_platform(env: Environment, name: str) -> CloudPlatform:
+    """Instantiate one of the three compared platforms."""
+    if name == "vm":
+        return VMCloudPlatform(env)
+    if name == "rattrap-wo":
+        return RattrapPlatform(env, optimized=False)
+    if name == "rattrap":
+        return RattrapPlatform(env, optimized=True)
+    raise ValueError(f"unknown platform {name!r}; choose from {PLATFORM_NAMES}")
+
+
+@dataclass
+class ExperimentRun:
+    """Everything one platform run produced."""
+
+    platform_name: str
+    profile: WorkloadProfile
+    scenario: str
+    env: Environment
+    platform: CloudPlatform
+    results: List[RequestResult]
+    devices: Dict[str, MobileDevice] = field(default_factory=dict)
+
+    @property
+    def served(self) -> List[RequestResult]:
+        return [r for r in self.results if not r.blocked]
+
+
+def run_workload_experiment(
+    platform_name: str,
+    profile: WorkloadProfile,
+    scenario: str = "lan-wifi",
+    devices: int = DEVICES,
+    requests_per_device: int = REQUESTS_PER_DEVICE,
+    seed: int = 1,
+    mode: str = "closed",
+    with_energy: bool = False,
+) -> ExperimentRun:
+    """Run the standard 5-device closed-loop experiment on one platform.
+
+    The inflow is identical across platforms for a given seed — the
+    paper's "same inflow of requests" discipline.
+    """
+    env = Environment()
+    platform = build_platform(env, platform_name)
+    plans = generate_inflow(
+        profile, devices=devices, requests_per_device=requests_per_device, seed=seed
+    )
+    link = make_link(scenario)
+    device_map: Dict[str, MobileDevice] = {}
+    if with_energy:
+        power = PowerModel()
+        device_map = {
+            f"device-{i}": MobileDevice(f"device-{i}", link, power_model=power)
+            for i in range(devices)
+        }
+    results = run_inflow_experiment(
+        env, platform, plans, link, devices=device_map or None, mode=mode
+    )
+    return ExperimentRun(
+        platform_name=platform_name,
+        profile=profile,
+        scenario=scenario,
+        env=env,
+        platform=platform,
+        results=results,
+        devices=device_map,
+    )

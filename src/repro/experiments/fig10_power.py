@@ -1,0 +1,83 @@
+"""Fig. 10 — Average power consumption in different network scenarios.
+
+Energy per request normalized to all-local execution, per workload x
+{Local, LAN, WAN, 4G, 3G} x {Rattrap, Rattrap(W/O), VM}.  Expected
+shape (§VI-D):
+
+- offloading saves energy in most cases, most for ChessGame/Linpack
+  (no file transfer);
+- on LAN, Rattrap beats VM by ~1.22x (OCR), ~1.37x (Chess),
+  ~1.13x (VirusScan), ~1.15x (Linpack);
+- for file-heavy workloads (OCR, VirusScan) the Rattrap-vs-VM gap
+  shrinks as the network degrades — transfer time dominates and
+  Rattrap does not improve it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis import render_table
+from ..offload import PowerModel
+from ..workloads import ALL_WORKLOADS
+from .common import PLATFORM_NAMES, run_workload_experiment
+
+__all__ = ["run", "report", "SCENARIO_ORDER"]
+
+SCENARIO_ORDER = ("lan-wifi", "wan-wifi", "4g", "3g")
+
+
+def run(seed: int = 1) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """data[workload][scenario][platform] = mean normalized energy."""
+    power = PowerModel()
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for profile in ALL_WORKLOADS:
+        per_scenario: Dict[str, Dict[str, float]] = {"local": {"local": 1.0}}
+        for scenario in SCENARIO_ORDER:
+            per_platform: Dict[str, float] = {}
+            for platform in PLATFORM_NAMES:
+                exp = run_workload_experiment(
+                    platform, profile, scenario=scenario, seed=seed
+                )
+                normalized = [
+                    power.normalized_offload_energy(r, scenario)
+                    for r in exp.served
+                ]
+                per_platform[platform] = sum(normalized) / len(normalized)
+            per_scenario[scenario] = per_platform
+        data[profile.name] = per_scenario
+    return data
+
+
+def report(data: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Render the per-workload energy tables."""
+    sections = []
+    for workload, per_scenario in data.items():
+        rows = []
+        for scenario in SCENARIO_ORDER:
+            p = per_scenario[scenario]
+            rows.append(
+                [
+                    scenario,
+                    p["rattrap"],
+                    p["rattrap-wo"],
+                    p["vm"],
+                    p["vm"] / p["rattrap"],
+                ]
+            )
+        sections.append(
+            render_table(
+                ["scenario", "Rattrap", "Rattrap(W/O)", "VM", "VM/Rattrap"],
+                rows,
+                title=(
+                    f"Fig. 10 ({workload}) — energy normalized to local execution "
+                    "(local = 1.0)"
+                ),
+                precision=3,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

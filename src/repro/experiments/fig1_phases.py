@@ -1,0 +1,57 @@
+"""Fig. 1 — Phase details and offloading speedups on the VM cloud.
+
+"Phase details and offloading speedups when running different
+workloads with the existing cloud platform.  The first 20 offloading
+requests are investigated."  Expected shape: the first request of
+every device suffers a ~29 s runtime preparation (offloading failure);
+subsequent requests have near-zero preparation and speedups well
+above 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis import per_request_phase_table, render_table
+from ..workloads import ALL_WORKLOADS
+from .common import run_workload_experiment
+
+__all__ = ["run", "report"]
+
+
+def run(seed: int = 1) -> Dict[str, List[dict]]:
+    """Per-workload Fig. 1 data: one device's 20 requests, decomposed."""
+    data: Dict[str, List[dict]] = {}
+    for profile in ALL_WORKLOADS:
+        exp = run_workload_experiment("vm", profile, seed=seed)
+        data[profile.name] = per_request_phase_table(exp.results, "device-0")
+    return data
+
+
+def report(data: Dict[str, List[dict]]) -> str:
+    """Render the Fig. 1 tables."""
+    sections = []
+    for workload, rows in data.items():
+        table_rows = [
+            [
+                row["request"],
+                row["computation_execution"],
+                row["runtime_preparation"],
+                row["network_connection"],
+                row["data_transfer"],
+                row["speedup"],
+            ]
+            for row in rows
+        ]
+        sections.append(
+            render_table(
+                ["req#", "exec (s)", "prep (s)", "conn (s)", "xfer (s)", "speedup"],
+                table_rows,
+                title=f"Fig. 1 ({workload}) — first 20 requests on the VM cloud",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

@@ -1,0 +1,81 @@
+"""Fig. 9 — Average performance of offloading requests (LAN WiFi).
+
+Normalized stacked bars of computation-execution / runtime-preparation
+/ data-transfer time for Rattrap, Rattrap(W/O) and VM, per workload.
+Expected shape (§VI-C):
+
+- runtime preparation improves 4.14–4.71x with Rattrap(W/O) and
+  16.29–16.98x with Rattrap;
+- data transfer speeds up 1.17–2.04x with Rattrap only (the cache);
+- pure computation gains 1.02–1.13x (W/O) and 1.05–1.40x (Rattrap),
+  with VirusScan the biggest winner (in-memory offloading I/O) and
+  Linpack the smallest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis import phase_means, render_table
+from ..workloads import ALL_WORKLOADS
+from .common import PLATFORM_NAMES, run_workload_experiment
+
+__all__ = ["run", "report"]
+
+
+def run(seed: int = 1) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """data[workload][platform] = mean seconds per phase."""
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for profile in ALL_WORKLOADS:
+        per_platform: Dict[str, Dict[str, float]] = {}
+        for platform in PLATFORM_NAMES:
+            exp = run_workload_experiment(platform, profile, seed=seed)
+            summary = phase_means(exp.results)
+            per_platform[platform] = {
+                "execution": summary.execution,
+                "preparation": summary.preparation,
+                "transfer": summary.transfer,
+                "connection": summary.connection,
+                "total": summary.total,
+            }
+        data[profile.name] = per_platform
+    return data
+
+
+def report(data: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Render the per-workload performance tables."""
+    sections = []
+    for workload, per_platform in data.items():
+        vm = per_platform["vm"]
+        rows = []
+        for platform in ("rattrap", "rattrap-wo", "vm"):
+            p = per_platform[platform]
+            rows.append(
+                [
+                    platform,
+                    p["execution"],
+                    p["preparation"],
+                    p["transfer"],
+                    p["total"] / vm["total"],
+                ]
+            )
+        table = render_table(
+            ["platform", "exec (s)", "prep (s)", "xfer (s)", "total (norm. to VM)"],
+            rows,
+            title=f"Fig. 9 ({workload}) — average offloading performance, LAN WiFi",
+            precision=3,
+        )
+        rt, wo = per_platform["rattrap"], per_platform["rattrap-wo"]
+        table += (
+            f"\nspeedups vs VM:  prep W/O {vm['preparation'] / wo['preparation']:.2f}x"
+            f"  prep Rattrap {vm['preparation'] / rt['preparation']:.2f}x"
+            f"  | xfer Rattrap {vm['transfer'] / rt['transfer']:.2f}x"
+            f"  | exec W/O {vm['execution'] / wo['execution']:.2f}x"
+            f"  exec Rattrap {vm['execution'] / rt['execution']:.2f}x"
+        )
+        sections.append(table)
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

@@ -1,0 +1,149 @@
+"""CLI entry point: regenerate any (or every) paper table/figure.
+
+Usage::
+
+    rattrap-experiments                 # run everything
+    rattrap-experiments fig9 table2     # run a subset
+    rattrap-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from . import (
+    ablations,
+    battery,
+    density,
+    fig1_phases,
+    fig2_serverload,
+    fig3_datacomp,
+    fig6_boot,
+    fig9_performance,
+    fig10_power,
+    fig11_trace_cdf,
+    scorecard,
+    section3e_redundancy,
+    sensitivity,
+    table1_overheads,
+    table2_migrated,
+)
+
+__all__ = ["EXPERIMENTS", "main", "run_experiment", "export_experiment"]
+
+#: name -> (module, description)
+EXPERIMENTS: Dict[str, Tuple[object, str]] = {
+    "sec3e": (section3e_redundancy, "§III-E OS redundancy profiling"),
+    "fig1": (fig1_phases, "Fig. 1 phase details on the VM cloud"),
+    "fig2": (fig2_serverload, "Fig. 2 server CPU/I-O timelines"),
+    "fig3": (fig3_datacomp, "Fig. 3 migrated-data composition"),
+    "table1": (table1_overheads, "Table I runtime-environment overheads"),
+    "fig6": (fig6_boot, "Fig. 6 boot-path stage comparison"),
+    "fig9": (fig9_performance, "Fig. 9 average offloading performance"),
+    "table2": (table2_migrated, "Table II total migrated data"),
+    "fig10": (fig10_power, "Fig. 10 energy across network scenarios"),
+    "fig11": (fig11_trace_cdf, "Fig. 11 trace-driven speedup CDF"),
+    "ablations": (ablations, "extension: per-mechanism ablations"),
+    "battery": (battery, "extension: daily battery impact per strategy"),
+    "sensitivity": (sensitivity, "extension: calibration-tax sensitivity"),
+    "density": (density, "extension: tenants per server until it breaks"),
+    "scorecard": (scorecard, "every paper claim graded pass/fail"),
+}
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment and return its report text."""
+    try:
+        module, _ = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return module.report(module.run())
+
+
+def _jsonable(obj):
+    """Recursively convert experiment data to JSON-serializable form."""
+    import dataclasses
+
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(dataclasses.asdict(obj))
+    return obj
+
+
+def export_experiment(name: str, directory: str) -> str:
+    """Run one experiment and write its raw data as ``<name>.json``.
+
+    Returns the written path.  The JSON holds the same structures the
+    report renders, ready for external plotting.
+    """
+    import json
+    import os
+
+    module, _ = EXPERIMENTS[name]
+    data = module.run()
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(_jsonable(data), fh, indent=1)
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rattrap-experiments",
+        description="Reproduce the tables and figures of the Rattrap paper "
+        "(IPDPS 2017) on the simulated platform.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"subset to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        help="also write each experiment's raw data as JSON into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name:8s} {desc}")
+        return 0
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        t0 = time.perf_counter()
+        text = run_experiment(name)
+        elapsed = time.perf_counter() - t0
+        print(f"\n{'#' * 72}\n# {name}: {EXPERIMENTS[name][1]}  ({elapsed:.1f}s)\n{'#' * 72}")
+        print(text)
+        if args.export:
+            path = export_experiment(name, args.export)
+            print(f"[exported {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

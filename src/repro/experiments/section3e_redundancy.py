@@ -1,0 +1,53 @@
+"""§III-E — Redundancy of mobile environments.
+
+Profiles the Android 4.4 image during an offloading run, then checks
+last-access times.  Paper numbers: 771 MB of 1.1 GB (68.4 %) never
+accessed; /system is 985 MB (87.4 % of the OS); the redundancy counts
+20 built-in apps, 197 .so, 4372 .ko and 396 .bin files.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..analysis import render_table
+from ..android import AccessProfiler, RedundancyReport, build_android_image, redundancy_report
+
+__all__ = ["run", "report"]
+
+
+def run() -> RedundancyReport:
+    """Profile boot + offloading accesses over the synthetic image."""
+    image = build_android_image()
+    profiler = AccessProfiler(image)
+    profiler.simulate_boot()
+    profiler.simulate_offloading()
+    return redundancy_report(image)
+
+
+def report(rep: RedundancyReport) -> str:
+    """Render the measured-vs-paper redundancy table."""
+    paper = {
+        "entire OS (MB)": 1126.4,
+        "/system (MB)": 985.0,
+        "/system share of OS (%)": 87.4,
+        "never accessed (MB)": 771.0,
+        "never accessed (%)": 68.4,
+        "redundant built-in apps": 20,
+        "redundant .so libraries": 197,
+        "redundant .ko kernel modules": 4372,
+        "redundant .bin firmware": 396,
+    }
+    rows: List[Tuple] = [
+        (metric, value, paper.get(metric, "-")) for metric, value in rep.rows()
+    ]
+    return render_table(
+        ["metric", "measured", "paper"],
+        rows,
+        title="§III-E — redundancy of mobile environments",
+        precision=1,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

@@ -1,0 +1,85 @@
+"""Table II — Total number of data transmitted with different benchmarks.
+
+Paper values (KB), columns Rattrap / Rattrap(W/O) / VM:
+
+===========  =======================  ===========================
+workload     download                 upload
+===========  =======================  ===========================
+OCR          154 / 152 / 152          29440 / 34233 / 35047
+ChessGame    34 / 34 / 34             4788 / 14011 / 13301
+VirusScan    1738 / 1582 / 1572       91973 / 99375 / 98895
+Linpack      11 / 11 / 11             169 / 776 / 705
+===========  =======================  ===========================
+
+Expected shape: upload drops sharply on Rattrap (code cached once
+platform-wide), barely at all for OCR/VirusScan relative to their
+parameter bulk, dramatically for ChessGame/Linpack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis import render_table
+from ..workloads import ALL_WORKLOADS
+from .common import PLATFORM_NAMES, run_workload_experiment
+
+__all__ = ["run", "report", "PAPER_VALUES_KB"]
+
+KB = 1024
+
+#: (upload, download) per workload/platform from the paper's Table II.
+PAPER_VALUES_KB = {
+    "ocr": {"rattrap": (29440, 154), "rattrap-wo": (34233, 152), "vm": (35047, 152)},
+    "chess": {"rattrap": (4788, 34), "rattrap-wo": (14011, 34), "vm": (13301, 34)},
+    "virusscan": {
+        "rattrap": (91973, 1738),
+        "rattrap-wo": (99375, 1582),
+        "vm": (98895, 1572),
+    },
+    "linpack": {"rattrap": (169, 11), "rattrap-wo": (776, 11), "vm": (705, 11)},
+}
+
+
+def run(seed: int = 1) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """data[workload][platform] = measured up/down KB totals."""
+    data: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for profile in ALL_WORKLOADS:
+        per_platform: Dict[str, Dict[str, float]] = {}
+        for platform in PLATFORM_NAMES:
+            exp = run_workload_experiment(platform, profile, seed=seed)
+            per_platform[platform] = {
+                "upload_kb": sum(r.bytes_up for r in exp.served) / KB,
+                "download_kb": sum(r.bytes_down for r in exp.served) / KB,
+            }
+        data[profile.name] = per_platform
+    return data
+
+
+def report(data: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Render the measured-vs-paper migrated-data table."""
+    rows = []
+    for workload, per_platform in data.items():
+        for platform in ("rattrap", "rattrap-wo", "vm"):
+            measured = per_platform[platform]
+            paper_up, paper_down = PAPER_VALUES_KB[workload][platform]
+            rows.append(
+                [
+                    workload,
+                    platform,
+                    measured["upload_kb"],
+                    paper_up,
+                    measured["download_kb"],
+                    paper_down,
+                ]
+            )
+    return render_table(
+        ["workload", "platform", "upload KB", "paper", "download KB", "paper"],
+        rows,
+        title="Table II — total migrated data (measured vs paper)",
+        precision=0,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(report(run()))

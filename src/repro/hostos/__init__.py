@@ -1,0 +1,46 @@
+"""Host server OS substrate: kernel, modules, devices, CPU, memory, storage."""
+
+from .cpu import CpuJob, MultiCoreCPU
+from .devices import DeviceError, DeviceRegistry, PseudoDevice
+from .devns import DeviceNamespace, DeviceNamespaceManager, NamespacedDeviceState
+from .kernel import LINUX_BUILTIN_FEATURES, Kernel, KernelError, LoadedModule
+from .memory import MemoryAccount, MemoryReservation, OutOfMemoryError
+from .modules import (
+    ANDROID_CONTAINER_DRIVER,
+    CHROMEOS_DRIVER_PACK,
+    REQUIRED_ANDROID_FEATURES,
+    ModuleSpec,
+    android_container_driver_pack,
+)
+from .server import DEFAULT_SERVER, CloudServer, ServerSpec
+from .storage import MB, StorageDevice, hdd, tmpfs
+
+__all__ = [
+    "MultiCoreCPU",
+    "CpuJob",
+    "PseudoDevice",
+    "DeviceRegistry",
+    "DeviceError",
+    "DeviceNamespace",
+    "DeviceNamespaceManager",
+    "NamespacedDeviceState",
+    "Kernel",
+    "KernelError",
+    "LoadedModule",
+    "LINUX_BUILTIN_FEATURES",
+    "ModuleSpec",
+    "ANDROID_CONTAINER_DRIVER",
+    "CHROMEOS_DRIVER_PACK",
+    "REQUIRED_ANDROID_FEATURES",
+    "android_container_driver_pack",
+    "MemoryAccount",
+    "MemoryReservation",
+    "OutOfMemoryError",
+    "StorageDevice",
+    "hdd",
+    "tmpfs",
+    "MB",
+    "CloudServer",
+    "ServerSpec",
+    "DEFAULT_SERVER",
+]

@@ -1,0 +1,113 @@
+"""Pseudo-device registry for the host kernel model.
+
+The Android Container Driver works by creating *pseudo devices*
+(``/dev/binder``, ``/dev/alarm``, ``/dev/log/main`` ...) when its
+modules load — §IV-B1 of the paper stresses that these have no physical
+hardware behind them, which is exactly why the driver pack is portable
+across server platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["PseudoDevice", "DeviceRegistry", "DeviceError"]
+
+
+class DeviceError(RuntimeError):
+    """Raised on invalid device operations (duplicate node, missing node)."""
+
+
+@dataclass
+class PseudoDevice:
+    """A character-device node exposed under ``/dev``.
+
+    ``provider`` names the kernel module that created the node, so
+    unloading a module can sweep exactly its devices.  ``open_count``
+    tracks live file handles; a module with open devices must not be
+    unloaded.
+    """
+
+    path: str
+    provider: str
+    namespaced: bool = False
+    open_count: int = 0
+    ioctl_count: int = field(default=0, repr=False)
+
+    def open(self) -> None:
+        """Acquire one file handle on the node."""
+        self.open_count += 1
+
+    def close(self) -> None:
+        """Release one file handle."""
+        if self.open_count <= 0:
+            raise DeviceError(f"close on {self.path} with no open handles")
+        self.open_count -= 1
+
+    def ioctl(self) -> None:
+        """Record one control call (Binder transactions are ioctls)."""
+        if self.open_count <= 0:
+            raise DeviceError(f"ioctl on {self.path} without an open handle")
+        self.ioctl_count += 1
+
+
+class DeviceRegistry:
+    """All pseudo-device nodes currently present on the host."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, PseudoDevice] = {}
+
+    def create(self, path: str, provider: str, namespaced: bool = False) -> PseudoDevice:
+        """Create a device node (DeviceError on duplicates)."""
+        if path in self._nodes:
+            raise DeviceError(f"device node {path} already exists")
+        node = PseudoDevice(path=path, provider=provider, namespaced=namespaced)
+        self._nodes[path] = node
+        return node
+
+    def remove(self, path: str) -> None:
+        """Delete a node (refused while handles are open)."""
+        node = self._nodes.get(path)
+        if node is None:
+            raise DeviceError(f"device node {path} does not exist")
+        if node.open_count > 0:
+            raise DeviceError(f"device node {path} has {node.open_count} open handles")
+        del self._nodes[path]
+
+    def get(self, path: str) -> PseudoDevice:
+        """The node at ``path`` (DeviceError if absent)."""
+        try:
+            return self._nodes[path]
+        except KeyError:
+            raise DeviceError(f"device node {path} does not exist") from None
+
+    def exists(self, path: str) -> bool:
+        """Is there a node at ``path``?"""
+        return path in self._nodes
+
+    def by_provider(self, provider: str) -> list:
+        """All nodes created by the named module."""
+        return [n for n in self._nodes.values() if n.provider == provider]
+
+    def remove_provider(self, provider: str) -> int:
+        """Remove every node owned by ``provider``; returns count removed."""
+        victims = self.by_provider(provider)
+        for node in victims:
+            if node.open_count > 0:
+                raise DeviceError(
+                    f"cannot remove {node.path}: {node.open_count} open handles"
+                )
+        for node in victims:
+            del self._nodes[node.path]
+        return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[PseudoDevice]:
+        return iter(self._nodes.values())
+
+    def paths(self) -> list:
+        """Sorted paths of every node."""
+        return sorted(self._nodes)

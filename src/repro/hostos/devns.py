@@ -1,0 +1,153 @@
+"""Device namespaces: per-container isolation of shared pseudo-devices.
+
+§IV-B1 / §V: Android drivers loaded by the Android Container Driver are
+*shared* between containers, so a multiplexing layer is needed — the
+paper adapts the device-namespace framework from Cells [17] (originally
+built for virtual phones on one handset) to cloud servers, namespacing
+Alarm, Binder and Logger.
+
+The model here captures the framework's observable contract:
+
+- each container gets a :class:`DeviceNamespace`;
+- a namespaced device node resolves to *per-namespace state* so one
+  container's Binder transactions/log buffers never leak into another;
+- non-namespaced devices resolve to shared global state;
+- tearing down a namespace releases all its per-device state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .devices import DeviceError, DeviceRegistry, PseudoDevice
+
+__all__ = ["DeviceNamespace", "DeviceNamespaceManager", "NamespacedDeviceState"]
+
+
+@dataclass
+class NamespacedDeviceState:
+    """Private per-(namespace, device) state behind a shared node."""
+
+    device_path: str
+    namespace_id: int
+    open_count: int = 0
+    ioctl_count: int = 0
+    #: free-form per-device private data (binder contexts, log buffers...)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def open(self) -> None:
+        """Acquire one handle on this namespaced state."""
+        self.open_count += 1
+
+    def close(self) -> None:
+        """Release one handle."""
+        if self.open_count <= 0:
+            raise DeviceError(
+                f"close on {self.device_path} (ns={self.namespace_id}) "
+                "with no open handles"
+            )
+        self.open_count -= 1
+
+    def ioctl(self) -> None:
+        """Record one control call against this namespace's state."""
+        if self.open_count <= 0:
+            raise DeviceError(
+                f"ioctl on {self.device_path} (ns={self.namespace_id}) "
+                "without an open handle"
+            )
+        self.ioctl_count += 1
+
+
+class DeviceNamespace:
+    """One container's view of the device tree."""
+
+    def __init__(self, manager: "DeviceNamespaceManager", ns_id: int):
+        self._manager = manager
+        self.ns_id = ns_id
+        self._states: Dict[str, NamespacedDeviceState] = {}
+        self.active = True
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise DeviceError(f"device namespace {self.ns_id} was torn down")
+
+    def open(self, path: str) -> "NamespacedDeviceState | PseudoDevice":
+        """Open a device node as seen from this namespace.
+
+        For namespaced nodes this returns (creating on first open) the
+        per-namespace state object; for global nodes it returns the
+        shared :class:`PseudoDevice` and bumps its open count.
+        """
+        self._require_active()
+        node = self._manager.registry.get(path)
+        if node.namespaced:
+            state = self._states.get(path)
+            if state is None:
+                state = NamespacedDeviceState(device_path=path, namespace_id=self.ns_id)
+                self._states[path] = state
+            state.open()
+            node.open()  # the shared node tracks aggregate handles too
+            return state
+        node.open()
+        return node
+
+    def close(self, path: str) -> None:
+        """Close this namespace's handle on ``path``."""
+        self._require_active()
+        node = self._manager.registry.get(path)
+        if node.namespaced:
+            state = self._states.get(path)
+            if state is None:
+                raise DeviceError(f"{path} was never opened in ns {self.ns_id}")
+            state.close()
+        node.close()
+
+    def state_of(self, path: str) -> Optional[NamespacedDeviceState]:
+        """This namespace's private state for a device (None if never opened)."""
+        return self._states.get(path)
+
+    def open_paths(self) -> list:
+        """Namespaced device paths with live handles here."""
+        return sorted(
+            p
+            for p, s in self._states.items()
+            if s.open_count > 0
+        )
+
+    def teardown(self) -> None:
+        """Release every handle this namespace still holds."""
+        for path, state in self._states.items():
+            node = self._manager.registry.get(path)
+            while state.open_count > 0:
+                state.close()
+                node.close()
+        self._states.clear()
+        self.active = False
+        self._manager._forget(self.ns_id)
+
+
+class DeviceNamespaceManager:
+    """Creates and tracks device namespaces over one device registry."""
+
+    def __init__(self, registry: DeviceRegistry):
+        self.registry = registry
+        self._namespaces: Dict[int, DeviceNamespace] = {}
+        self._next_id = 1
+
+    def create(self) -> DeviceNamespace:
+        """Allocate a fresh device namespace for a container."""
+        ns = DeviceNamespace(self, self._next_id)
+        self._namespaces[self._next_id] = ns
+        self._next_id += 1
+        return ns
+
+    def _forget(self, ns_id: int) -> None:
+        self._namespaces.pop(ns_id, None)
+
+    def __len__(self) -> int:
+        return len(self._namespaces)
+
+    def active_namespaces(self) -> list:
+        """Ids of namespaces not yet torn down."""
+        return sorted(self._namespaces)

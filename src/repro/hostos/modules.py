@@ -1,0 +1,163 @@
+"""Loadable kernel modules and the Android Container Driver pack.
+
+§IV-B1: Android's kernel is mainline Linux plus a handful of drivers
+(Binder, Alarm, Logger, Ashmem, ...).  Official Android builds them
+*into* the kernel; Rattrap instead packages them as loadable modules so
+a stock cloud kernel gains Android support on demand — loaded when the
+first Cloud Android Container starts, unloaded when the last one stops,
+"without kernel recompiling or any operating system modification".
+
+This module implements that mechanism: modules declare the kernel
+*features* they provide and the device nodes they create; the kernel
+(:mod:`repro.hostos.kernel`) refcounts users and enforces dependency
+and unload-safety rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+__all__ = [
+    "ModuleSpec",
+    "ANDROID_CONTAINER_DRIVER",
+    "android_container_driver_pack",
+    "CHROMEOS_DRIVER_PACK",
+]
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Static description of a loadable kernel module.
+
+    Attributes
+    ----------
+    name:
+        module name as ``insmod`` would see it (e.g. ``binder_linux``).
+    provides:
+        kernel feature identifiers userspace can test for.
+    devices:
+        ``(path, namespaced)`` pairs of pseudo-device nodes the module
+        creates at load time.  ``namespaced`` marks nodes that the
+        device-namespace framework multiplexes per container (the paper
+        namespaces Alarm, Binder and Logger).
+    depends:
+        names of modules that must already be loaded.
+    memory_kb:
+        resident kernel memory while loaded; freed on unload (the paper
+        unloads idle drivers precisely "to avoid wasting memory").
+    load_time_s:
+        simulated insmod time.
+    """
+
+    name: str
+    provides: FrozenSet[str]
+    devices: Tuple[Tuple[str, bool], ...] = ()
+    depends: Tuple[str, ...] = ()
+    memory_kb: int = 64
+    load_time_s: float = 0.01
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("module name must be non-empty")
+        if not self.provides:
+            raise ValueError(f"module {self.name} must provide >= 1 feature")
+
+
+def _spec(
+    name: str,
+    provides: Sequence[str],
+    devices: Sequence[Tuple[str, bool]] = (),
+    depends: Sequence[str] = (),
+    memory_kb: int = 64,
+    load_time_s: float = 0.01,
+) -> ModuleSpec:
+    return ModuleSpec(
+        name=name,
+        provides=frozenset(provides),
+        devices=tuple(devices),
+        depends=tuple(depends),
+        memory_kb=memory_kb,
+        load_time_s=load_time_s,
+    )
+
+
+#: The Android Container Driver: every Android-specific kernel feature the
+#: paper names, packaged as independently loadable modules.
+ANDROID_CONTAINER_DRIVER: Dict[str, ModuleSpec] = {
+    "binder_linux": _spec(
+        "binder_linux",
+        provides=["android.binder"],
+        devices=[("/dev/binder", True)],
+        memory_kb=256,
+        load_time_s=0.02,
+    ),
+    "android_alarm": _spec(
+        "android_alarm",
+        provides=["android.alarm"],
+        devices=[("/dev/alarm", True)],
+        memory_kb=32,
+    ),
+    "android_logger": _spec(
+        "android_logger",
+        provides=["android.logger"],
+        devices=[
+            ("/dev/log/main", True),
+            ("/dev/log/events", True),
+            ("/dev/log/radio", True),
+            ("/dev/log/system", True),
+        ],
+        memory_kb=1024,  # RAM ring buffers
+    ),
+    "ashmem_linux": _spec(
+        "ashmem_linux",
+        provides=["android.ashmem"],
+        devices=[("/dev/ashmem", False)],
+        memory_kb=64,
+    ),
+    "sw_sync": _spec(
+        "sw_sync",
+        provides=["android.sw_sync"],
+        devices=[("/dev/sw_sync", False)],
+        memory_kb=16,
+    ),
+    "android_timed_output": _spec(
+        "android_timed_output",
+        provides=["android.timed_output"],
+        memory_kb=8,
+    ),
+}
+
+#: The features a Cloud Android Container needs before /init will run.
+REQUIRED_ANDROID_FEATURES = frozenset(
+    {
+        "android.binder",
+        "android.alarm",
+        "android.logger",
+        "android.ashmem",
+    }
+)
+
+
+def android_container_driver_pack() -> List[ModuleSpec]:
+    """The module set Rattrap loads to host Android containers."""
+    return list(ANDROID_CONTAINER_DRIVER.values())
+
+
+#: §IV-B1 generalization: the same mechanism can host *other* Linux-based
+#: OSes with differential kernel features — the paper names Chrome OS and
+#: embedded Linux.  A small illustrative pack:
+CHROMEOS_DRIVER_PACK: Dict[str, ModuleSpec] = {
+    "chromeos_laptop": _spec(
+        "chromeos_laptop",
+        provides=["chromeos.platform"],
+        memory_kb=48,
+    ),
+    "chromeos_pstore": _spec(
+        "chromeos_pstore",
+        provides=["chromeos.pstore"],
+        devices=[("/dev/pstore", False)],
+        depends=("chromeos_laptop",),
+        memory_kb=32,
+    ),
+}

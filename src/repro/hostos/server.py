@@ -1,0 +1,112 @@
+"""The assembled cloud server.
+
+§V: "Each server contains 2 six-core Intel Xeon X5650 2.66 GHz CPUs
+with 16 GB of DRAM and 300 GB HDD, running Ubuntu 15.04" with Linux
+kernel 3.18.0.  :class:`CloudServer` wires together the kernel model,
+CPU, memory account and storage devices, and exposes the module-loading
+entry point that turns a stock server into a Rattrap host.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from .cpu import MultiCoreCPU
+from .devns import DeviceNamespaceManager
+from .kernel import Kernel
+from .memory import MemoryAccount
+from .modules import REQUIRED_ANDROID_FEATURES, ModuleSpec, android_container_driver_pack
+from .storage import StorageDevice, hdd, tmpfs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+__all__ = ["CloudServer", "ServerSpec", "DEFAULT_SERVER"]
+
+
+class ServerSpec:
+    """Hardware/OS parameters of one server machine."""
+
+    def __init__(
+        self,
+        cores: int = 12,
+        cpu_ghz: float = 2.66,
+        memory_mb: float = 16 * 1024,
+        disk_gb: float = 300.0,
+        tmpfs_mb: float = 2048.0,
+        kernel_version: str = "3.18.0",
+        os_name: str = "Ubuntu 15.04",
+    ):
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        self.cores = cores
+        self.cpu_ghz = cpu_ghz
+        self.memory_mb = memory_mb
+        self.disk_gb = disk_gb
+        self.tmpfs_mb = tmpfs_mb
+        self.kernel_version = kernel_version
+        self.os_name = os_name
+
+
+#: The paper's testbed machine.
+DEFAULT_SERVER = ServerSpec()
+
+
+class CloudServer:
+    """One physical server hosting mobile code runtime environments."""
+
+    def __init__(self, env: "Environment", spec: Optional[ServerSpec] = None, name: str = "server0"):
+        self.env = env
+        self.spec = spec or DEFAULT_SERVER
+        self.name = name
+        self.kernel = Kernel(version=self.spec.kernel_version)
+        self.cpu = MultiCoreCPU(env, cores=self.spec.cores, name=f"{name}.cpu")
+        self.memory = MemoryAccount(env, capacity_mb=self.spec.memory_mb)
+        self.disk = hdd(env, capacity_gb=self.spec.disk_gb)
+        self.tmpfs = tmpfs(env, capacity_mb=self.spec.tmpfs_mb)
+        self.device_namespaces = DeviceNamespaceManager(self.kernel.devices)
+
+    # -- Android Container Driver lifecycle ------------------------------------
+    def android_ready(self) -> bool:
+        """True once the kernel can host Cloud Android Containers."""
+        return self.kernel.supports_all(REQUIRED_ANDROID_FEATURES)
+
+    def load_android_driver(self, pack: Optional[Iterable[ModuleSpec]] = None):
+        """Load the Android Container Driver pack (idempotent).
+
+        Returns a process event finishing when all modules are resident;
+        the elapsed time is the sum of per-module insmod times — small,
+        which is the point: "kernel extension without rebuilding or
+        rebooting cloud servers".
+        """
+        specs = list(pack) if pack is not None else android_container_driver_pack()
+
+        def loader(env):
+            loaded: List[str] = []
+            for spec in specs:
+                if self.kernel.is_loaded(spec.name):
+                    continue
+                yield env.timeout(spec.load_time_s)
+                self.kernel.load_module(spec, now=env.now)
+                loaded.append(spec.name)
+            return loaded
+
+        return self.env.process(loader(self.env))
+
+    def unload_android_driver(self) -> List[str]:
+        """Drop unused Android modules (called when the last CAC stops)."""
+        return self.kernel.reap_unused()
+
+    # -- snapshots -----------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Point-in-time resource picture for monitors and tests."""
+        return {
+            "time": self.env.now,
+            "cpu_active_jobs": self.cpu.active_jobs,
+            "memory_reserved_mb": self.memory.reserved_mb,
+            "memory_available_mb": self.memory.available_mb,
+            "disk_stored_bytes": self.disk.bytes_stored,
+            "tmpfs_stored_bytes": self.tmpfs.bytes_stored,
+            "kernel_modules": self.kernel.loaded_modules(),
+            "android_ready": self.android_ready(),
+        }

@@ -1,0 +1,16 @@
+"""Network substrate: links, the paper's scenarios, transfer framing."""
+
+from .link import Link, Mbps, MTU_BYTES
+from .scenarios import SCENARIOS, make_link, scenario_names
+from .transfer import TransferLog, send_messages
+
+__all__ = [
+    "Link",
+    "Mbps",
+    "MTU_BYTES",
+    "SCENARIOS",
+    "make_link",
+    "scenario_names",
+    "TransferLog",
+    "send_messages",
+]

@@ -1,0 +1,149 @@
+"""Network link model: latency, asymmetric bandwidth, jitter, loss.
+
+The paper evaluates LAN WiFi / WAN WiFi / 3G / 4G (§VI-A).  A
+:class:`Link` computes transfer times for uploads (device → cloud) and
+downloads (cloud → device) and exposes a process-style ``transmit`` for
+use inside the simulation.
+
+Instability is modeled as lognormal latency jitter plus i.i.d. packet
+loss causing retransmission rounds — enough structure to reproduce the
+paper's qualitative finding that 3G's latency/bandwidth dominate
+offloading response for file-heavy workloads (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+__all__ = ["Link", "Mbps", "MTU_BYTES"]
+
+#: One megabit per second, in bytes/second.
+Mbps = 1e6 / 8.0
+MTU_BYTES = 1500
+
+
+class Link:
+    """A bidirectional mobile-device-to-cloud network path."""
+
+    def __init__(
+        self,
+        name: str,
+        latency_s: float,
+        up_bw_bps: float,
+        down_bw_bps: float,
+        jitter_sigma: float = 0.0,
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        handshake_rounds: int = 2,
+        shared_medium: bool = False,
+    ):
+        if latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if up_bw_bps <= 0 or down_bw_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+        self.name = name
+        self.latency_s = latency_s
+        self.up_bw_bps = up_bw_bps
+        self.down_bw_bps = down_bw_bps
+        if handshake_rounds < 1:
+            raise ValueError("handshake_rounds must be >= 1")
+        self.jitter_sigma = jitter_sigma
+        self.loss_rate = loss_rate
+        #: per-message latency rounds (TCP slow-start approximation)
+        self.handshake_rounds = handshake_rounds
+        self.rng = rng or np.random.default_rng(0)
+        #: when True, concurrent transmissions serialize through the
+        #: medium (one radio channel shared by every device on the AP)
+        self.shared_medium = shared_medium
+        self._channel = None
+        self.bytes_up = 0
+        self.bytes_down = 0
+
+    # -- deterministic cost model ------------------------------------------------
+    def one_way_delay(self) -> float:
+        """Sampled one-way latency (jittered)."""
+        if self.jitter_sigma == 0.0:
+            return self.latency_s
+        return self.latency_s * float(self.rng.lognormal(0.0, self.jitter_sigma))
+
+    def rtt(self) -> float:
+        """Sampled round-trip time (two jittered one-way delays)."""
+        return self.one_way_delay() * 2
+
+    def expected_transfer_time(self, nbytes: float, direction: str) -> float:
+        """Mean transfer time ignoring jitter/loss — for decision engines."""
+        bw = self._bw(direction)
+        return self.latency_s * self.handshake_rounds + nbytes / bw
+
+    def _bw(self, direction: str) -> float:
+        if direction == "up":
+            return self.up_bw_bps
+        if direction == "down":
+            return self.down_bw_bps
+        raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+
+    def _effective_bytes(self, nbytes: float) -> float:
+        """Bytes on the wire after retransmissions from packet loss."""
+        if self.loss_rate == 0.0 or nbytes == 0:
+            return nbytes
+        packets = max(1, int(np.ceil(nbytes / MTU_BYTES)))
+        # Each packet transmitted Geometric(1-p) times on average; sample
+        # the aggregate with a binomial retransmission cascade.
+        total_packets = 0
+        pending = packets
+        rounds = 0
+        while pending > 0 and rounds < 64:
+            total_packets += pending
+            pending = int(self.rng.binomial(pending, self.loss_rate))
+            rounds += 1
+        return nbytes * total_packets / packets
+
+    # -- timed transfer -------------------------------------------------------------
+    def transmit(
+        self, env: "Environment", nbytes: float, direction: str
+    ) -> Generator:
+        """Process generator: move ``nbytes`` across the link.
+
+        Time = jittered one-way latency + wire time (with loss-driven
+        retransmissions).  Byte counters accumulate for energy models.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        bw = self._bw(direction)
+        wire_bytes = self._effective_bytes(nbytes)
+        duration = self.one_way_delay() * self.handshake_rounds + wire_bytes / bw
+        if self.shared_medium:
+            if self._channel is None or self._channel.env is not env:
+                from ..sim.resources import Resource
+
+                self._channel = Resource(env, capacity=1)
+            with self._channel.request() as req:
+                yield req
+                yield env.timeout(duration)
+        else:
+            yield env.timeout(duration)
+        if direction == "up":
+            self.bytes_up += int(nbytes)
+        else:
+            self.bytes_down += int(nbytes)
+        return duration
+
+    def connect(self, env: "Environment") -> Generator:
+        """Process generator: TCP-style connection establishment (1 RTT
+        handshake + half-RTT for the first request to land)."""
+        yield env.timeout(self.rtt() + self.one_way_delay())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Link {self.name} lat={self.latency_s * 1e3:.1f}ms "
+            f"up={self.up_bw_bps / Mbps:.2f}Mbps down={self.down_bw_bps / Mbps:.2f}Mbps>"
+        )

@@ -1,0 +1,74 @@
+"""The paper's four network scenarios (§VI-A), verbatim:
+
+- **LAN WiFi** — device and server on one LAN, "stable and fast";
+- **WAN WiFi** — "about 60 ms latency ... but stable";
+- **3G** — "unstable, with high latency and limited bandwidth, whose
+  upstream bandwidth is 0.38 Mbps and downstream bandwidth is
+  0.09 Mbps" (copied as printed);
+- **4G** — "upstream bandwidth is 48.97 Mbps and downstream bandwidth
+  is 7.64 Mbps", less stable than WiFi.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .link import Link, Mbps
+
+__all__ = ["make_link", "SCENARIOS", "scenario_names"]
+
+
+#: name -> constructor kwargs.
+SCENARIOS: Dict[str, dict] = {
+    "lan-wifi": dict(
+        latency_s=0.002,
+        up_bw_bps=40.0 * Mbps,
+        down_bw_bps=40.0 * Mbps,
+        jitter_sigma=0.05,
+        loss_rate=0.0,
+    ),
+    "wan-wifi": dict(
+        latency_s=0.060,
+        up_bw_bps=20.0 * Mbps,
+        down_bw_bps=20.0 * Mbps,
+        jitter_sigma=0.10,
+        loss_rate=0.001,
+    ),
+    "3g": dict(
+        latency_s=0.150,
+        up_bw_bps=0.38 * Mbps,
+        down_bw_bps=0.09 * Mbps,
+        jitter_sigma=0.35,
+        loss_rate=0.02,
+    ),
+    "4g": dict(
+        latency_s=0.045,
+        up_bw_bps=48.97 * Mbps,
+        down_bw_bps=7.64 * Mbps,
+        jitter_sigma=0.20,
+        loss_rate=0.005,
+    ),
+}
+
+
+def scenario_names() -> list:
+    """Names of the paper's four network scenarios."""
+    return list(SCENARIOS)
+
+
+def make_link(scenario: str, rng: Optional[np.random.Generator] = None) -> Link:
+    """Build the link for a named scenario.
+
+    >>> link = make_link("3g")
+    >>> round(link.up_bw_bps / Mbps, 2)
+    0.38
+    """
+    try:
+        kwargs = SCENARIOS[scenario]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {scenario!r}; choose from {scenario_names()}"
+        ) from None
+    return Link(name=scenario, rng=rng, **kwargs)

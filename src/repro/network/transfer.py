@@ -1,0 +1,74 @@
+"""Message framing and batched transfers over a link.
+
+Offloading traffic is a sequence of typed messages (§III-D, Fig. 3):
+mobile code, files + parameters, and control messages.  This module
+moves a batch of messages over a :class:`~repro.network.link.Link`
+while attributing bytes to each message class, which is what the
+Fig. 3 composition analysis and Table II totals aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, Iterable, List
+
+from .link import Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..offload.messages import Message
+
+__all__ = ["TransferLog", "send_messages"]
+
+
+@dataclass
+class TransferLog:
+    """Per-kind byte accounting for one endpoint's traffic."""
+
+    up_bytes: Dict[str, int] = field(default_factory=dict)
+    down_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, nbytes: int, direction: str) -> None:
+        """Attribute ``nbytes`` of traffic to a message kind."""
+        book = self.up_bytes if direction == "up" else self.down_bytes
+        book[kind] = book.get(kind, 0) + int(nbytes)
+
+    def total(self, direction: str) -> int:
+        """Total bytes moved in one direction."""
+        book = self.up_bytes if direction == "up" else self.down_bytes
+        return sum(book.values())
+
+    def composition(self, direction: str = "up") -> Dict[str, float]:
+        """Fraction of bytes per message kind (Fig. 3's stacked bars)."""
+        book = self.up_bytes if direction == "up" else self.down_bytes
+        total = sum(book.values())
+        if total == 0:
+            return {}
+        return {kind: nbytes / total for kind, nbytes in book.items()}
+
+    def merge(self, other: "TransferLog") -> "TransferLog":
+        """Fold another log's bytes into this one."""
+        for kind, nbytes in other.up_bytes.items():
+            self.record(kind, nbytes, "up")
+        for kind, nbytes in other.down_bytes.items():
+            self.record(kind, nbytes, "down")
+        return self
+
+
+def send_messages(
+    env: "Environment",
+    link: Link,
+    messages: Iterable["Message"],
+    direction: str,
+    log: TransferLog,
+) -> Generator:
+    """Process generator: transmit ``messages`` sequentially.
+
+    Returns the elapsed transfer time.  Bytes are attributed to each
+    message's ``kind`` in ``log``.
+    """
+    start = env.now
+    for msg in messages:
+        yield env.process(link.transmit(env, msg.size_bytes, direction))
+        log.record(msg.kind, msg.size_bytes, direction)
+    return env.now - start

@@ -1,0 +1,38 @@
+"""Offloading framework: messages, requests, devices, power, decisions."""
+
+from .client import (
+    replay_closed_loop,
+    replay_hybrid,
+    replay_inflow,
+    replay_with_deadline,
+    run_inflow_experiment,
+)
+from .decision import DecisionEngine, OffloadEstimate
+from .device import MobileDevice
+from .messages import KB, Message, MessageKind, result_message, upload_messages
+from .power import RADIO_PARAMS, EnergyBreakdown, PowerModel, RadioParams
+from .request import OffloadRequest, Phase, PhaseTimeline, RequestResult
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "upload_messages",
+    "result_message",
+    "KB",
+    "OffloadRequest",
+    "Phase",
+    "PhaseTimeline",
+    "RequestResult",
+    "MobileDevice",
+    "PowerModel",
+    "RadioParams",
+    "RADIO_PARAMS",
+    "EnergyBreakdown",
+    "DecisionEngine",
+    "OffloadEstimate",
+    "replay_inflow",
+    "replay_closed_loop",
+    "replay_hybrid",
+    "replay_with_deadline",
+    "run_inflow_experiment",
+]

@@ -1,0 +1,255 @@
+"""Client-side experiment driver.
+
+Replays an arrival plan (the "same inflow of requests" the evaluation
+uses for every compared platform) against a cloud platform, collecting
+the per-request results all experiments aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence
+
+from ..network.link import Link
+from .device import MobileDevice
+from .request import RequestResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..platform.base import CloudPlatform
+    from ..sim.core import Environment
+    from ..workloads.generator import ArrivalPlan
+
+__all__ = [
+    "replay_inflow",
+    "replay_closed_loop",
+    "replay_hybrid",
+    "replay_with_deadline",
+    "run_inflow_experiment",
+]
+
+
+def replay_with_deadline(
+    env: "Environment",
+    platform: "CloudPlatform",
+    plans: Sequence["ArrivalPlan"],
+    devices: Dict[str, MobileDevice],
+    deadline_s: float,
+) -> Generator:
+    """Closed-loop replay with a client-side response deadline.
+
+    If an offloaded request has not returned within ``deadline_s``, the
+    client aborts it (the in-flight cloud work is interrupted) and
+    executes the task locally — bounding the worst case a cold start or
+    overloaded server can inflict on the user.  Aborted requests carry
+    ``deadline_aborted`` and ``executed_locally``.
+    """
+    from .request import PhaseTimeline
+
+    if deadline_s <= 0:
+        raise ValueError("deadline_s must be positive")
+    per_device: Dict[str, list] = {}
+    for plan in plans:
+        per_device.setdefault(plan.device_id, []).append(plan)
+    for seq in per_device.values():
+        seq.sort(key=lambda p: p.request.seq_on_device)
+    missing = set(per_device) - set(devices)
+    if missing:
+        raise ValueError(f"no device object for: {sorted(missing)}")
+
+    def drive(device_id: str, device_plans) -> Generator:
+        device = devices[device_id]
+        collected = []
+        for plan in device_plans:
+            if plan.gap_s > 0:
+                yield env.timeout(plan.gap_s)
+            request = plan.request
+            proc = platform.submit(request, device.link)
+            proc.defused = True
+            expiry = env.timeout(deadline_s)
+            outcome = yield env.any_of([proc, expiry])
+            if proc in outcome:
+                result = proc.value
+                if not result.blocked:
+                    device.account_offload(result)
+            else:
+                if proc.is_alive:
+                    proc.interrupt("client deadline exceeded")
+                started = env.now
+                yield env.process(device.execute_locally(env, request.profile))
+                result = RequestResult(
+                    request=request,
+                    timeline=PhaseTimeline(),
+                    started_at=started - deadline_s,
+                    finished_at=env.now,
+                    executed_locally=True,
+                    deadline_aborted=True,
+                )
+            collected.append(result)
+        return collected
+
+    drivers = [
+        env.process(drive(device_id, seq)) for device_id, seq in per_device.items()
+    ]
+    done = yield env.all_of(drivers)
+    results = [r for batch in done.values() for r in batch]
+    results.sort(key=lambda r: r.request.request_id)
+    return results
+
+
+def replay_hybrid(
+    env: "Environment",
+    platform: "CloudPlatform",
+    plans: Sequence["ArrivalPlan"],
+    devices: Dict[str, MobileDevice],
+    engine,
+) -> Generator:
+    """Closed-loop replay with the decision engine in the loop.
+
+    Before each request the client asks the platform for its expected
+    runtime-preparation time and cache state, predicts the offloading
+    speedup, and *executes locally* when offloading would not pay —
+    turning would-be offloading failures (§III-B) into local runs.
+    Each device transmits over its own link.
+
+    Returns all results; local executions carry ``executed_locally``.
+    """
+    from .request import PhaseTimeline
+
+    per_device: Dict[str, list] = {}
+    for plan in plans:
+        per_device.setdefault(plan.device_id, []).append(plan)
+    for seq in per_device.values():
+        seq.sort(key=lambda p: p.request.seq_on_device)
+    missing = set(per_device) - set(devices)
+    if missing:
+        raise ValueError(f"no device object for: {sorted(missing)}")
+
+    def drive(device_id: str, device_plans) -> Generator:
+        device = devices[device_id]
+        collected = []
+        for plan in device_plans:
+            if plan.gap_s > 0:
+                yield env.timeout(plan.gap_s)
+            request = plan.request
+            prep = platform.expected_preparation_s(request)
+            cached = platform.code_cached(request)
+            if engine.should_offload(
+                request.profile, device.link,
+                expected_preparation_s=prep, code_cached=cached,
+            ):
+                result = yield platform.submit(request, device.link)
+                if not result.blocked:
+                    device.account_offload(result)
+            else:
+                started = env.now
+                yield env.process(device.execute_locally(env, request.profile))
+                result = RequestResult(
+                    request=request,
+                    timeline=PhaseTimeline(),
+                    started_at=started,
+                    finished_at=env.now,
+                    executed_locally=True,
+                )
+            collected.append(result)
+        return collected
+
+    drivers = [
+        env.process(drive(device_id, seq)) for device_id, seq in per_device.items()
+    ]
+    done = yield env.all_of(drivers)
+    results = [r for batch in done.values() for r in batch]
+    results.sort(key=lambda r: r.request.request_id)
+    return results
+
+
+def replay_closed_loop(
+    env: "Environment",
+    platform: "CloudPlatform",
+    plans: Sequence["ArrivalPlan"],
+    link: Link,
+    devices: Optional[Dict[str, MobileDevice]] = None,
+) -> Generator:
+    """Process generator: closed-loop replay, the main-experiment mode.
+
+    Interactive offloading apps issue one request at a time: each
+    device submits its next request one think-gap after the previous
+    *response* (so a slow cold start delays, rather than piles up,
+    that device's stream).  This matches §VI-C's "5 Android devices
+    running offloading workloads".
+    """
+    per_device: Dict[str, list] = {}
+    for plan in plans:
+        per_device.setdefault(plan.device_id, []).append(plan)
+    for seq in per_device.values():
+        seq.sort(key=lambda p: p.request.seq_on_device)
+
+    def drive(device_plans) -> Generator:
+        collected = []
+        for plan in device_plans:
+            if plan.gap_s > 0:
+                yield env.timeout(plan.gap_s)
+            result = yield platform.submit(plan.request, link)
+            if devices is not None and not result.blocked:
+                devices[plan.device_id].account_offload(result)
+            collected.append(result)
+        return collected
+
+    drivers = [env.process(drive(seq)) for seq in per_device.values()]
+    done = yield env.all_of(drivers)
+    results = [r for batch in done.values() for r in batch]
+    results.sort(key=lambda r: r.request.request_id)
+    return results
+
+
+def replay_inflow(
+    env: "Environment",
+    platform: "CloudPlatform",
+    plans: Sequence["ArrivalPlan"],
+    link: Link,
+    devices: Optional[Dict[str, MobileDevice]] = None,
+) -> Generator:
+    """Process generator: fire every arrival at its timestamp.
+
+    Returns the completed :class:`RequestResult` list, ordered by
+    request id.  When ``devices`` is given, each device's battery is
+    charged for its offloaded requests (Fig. 10's methodology).
+    """
+    submissions = []
+
+    def fire(plan: ArrivalPlan) -> Generator:
+        delay = plan.time_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        result = yield platform.submit(plan.request, link)
+        if devices is not None and not result.blocked:
+            devices[plan.device_id].account_offload(result)
+        return result
+
+    for plan in plans:
+        submissions.append(env.process(fire(plan)))
+    done = yield env.all_of(submissions)
+    results = [r for r in done.values() if isinstance(r, RequestResult)]
+    results.sort(key=lambda r: r.request.request_id)
+    return results
+
+
+def run_inflow_experiment(
+    env: "Environment",
+    platform: "CloudPlatform",
+    plans: Sequence["ArrivalPlan"],
+    link: Link,
+    devices: Optional[Dict[str, MobileDevice]] = None,
+    mode: str = "closed",
+) -> List[RequestResult]:
+    """Convenience wrapper: replay ``plans`` and run the clock until done.
+
+    ``mode="closed"`` (default) drives each device one-request-at-a-
+    time; ``mode="open"`` fires at absolute timestamps (trace replay).
+    """
+    if mode == "closed":
+        gen = replay_closed_loop(env, platform, plans, link, devices)
+    elif mode == "open":
+        gen = replay_inflow(env, platform, plans, link, devices)
+    else:
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    proc = env.process(gen)
+    return env.run(until=proc)

@@ -1,0 +1,134 @@
+"""PowerTutor-style device energy model (§V: "The power consumption
+measurement is based on PowerTutor [22]").
+
+PowerTutor models a handset as a set of components, each with a small
+number of power states; energy is the time integral of the active
+states.  We keep the same structure:
+
+- **CPU**: active (local computation) vs idle (waiting on the cloud);
+- **Radio**: per-technology transmit / receive powers, plus the *tail*
+  state — after activity, cellular radios hold a high-power state for
+  seconds (the dominant 3G inefficiency).
+
+Constants follow the published PowerTutor/AT&T-3G measurement
+literature; their absolute values only scale Fig. 10's y-axis, while
+the paper's claims are ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from .request import Phase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workloads.base import WorkloadProfile
+    from .request import RequestResult
+
+__all__ = ["RadioParams", "RADIO_PARAMS", "PowerModel", "EnergyBreakdown"]
+
+
+@dataclass(frozen=True)
+class RadioParams:
+    """Power states of one radio technology (watts, seconds)."""
+
+    tx_watts: float
+    rx_watts: float
+    tail_watts: float
+    tail_seconds: float
+
+    def __post_init__(self):
+        for name in ("tx_watts", "rx_watts", "tail_watts", "tail_seconds"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+#: Radio parameters per network scenario.
+RADIO_PARAMS: Dict[str, RadioParams] = {
+    "lan-wifi": RadioParams(tx_watts=0.72, rx_watts=0.35, tail_watts=0.31, tail_seconds=1.5),
+    "wan-wifi": RadioParams(tx_watts=0.72, rx_watts=0.35, tail_watts=0.31, tail_seconds=1.5),
+    "3g": RadioParams(tx_watts=1.10, rx_watts=0.85, tail_watts=0.62, tail_seconds=4.0),
+    "4g": RadioParams(tx_watts=1.25, rx_watts=1.00, tail_watts=0.80, tail_seconds=2.5),
+}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component for one request."""
+
+    cpu_j: float = 0.0
+    tx_j: float = 0.0
+    rx_j: float = 0.0
+    idle_j: float = 0.0
+    tail_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.cpu_j + self.tx_j + self.rx_j + self.idle_j + self.tail_j
+
+
+class PowerModel:
+    """Integrates device power over local or offloaded executions."""
+
+    def __init__(
+        self,
+        cpu_active_watts: float = 0.90,
+        idle_watts: float = 0.15,
+    ):
+        if cpu_active_watts <= 0 or idle_watts < 0:
+            raise ValueError("power constants must be positive")
+        self.cpu_active_watts = cpu_active_watts
+        self.idle_watts = idle_watts
+
+    def radio(self, scenario: str) -> RadioParams:
+        """Radio power parameters for a named scenario."""
+        try:
+            return RADIO_PARAMS[scenario]
+        except KeyError:
+            raise KeyError(
+                f"no radio parameters for scenario {scenario!r}; "
+                f"known: {sorted(RADIO_PARAMS)}"
+            ) from None
+
+    # -- local execution ------------------------------------------------------
+    def local_energy(self, profile: "WorkloadProfile") -> EnergyBreakdown:
+        """Running the workload entirely on the device."""
+        return EnergyBreakdown(cpu_j=profile.local_time_s * self.cpu_active_watts)
+
+    # -- offloaded execution -----------------------------------------------------
+    def offload_energy(self, result: "RequestResult", scenario: str) -> EnergyBreakdown:
+        """Device-side energy of one offloaded request.
+
+        The device transmits during the upload share of the transfer
+        phase, receives during the download share, idles through
+        connection + preparation + cloud execution, and then pays the
+        radio tail once the exchange finishes.
+        """
+        radio = self.radio(scenario)
+        transfer = result.phase(Phase.TRANSFER)
+        total_bytes = result.bytes_up + result.bytes_down
+        if total_bytes > 0:
+            up_time = transfer * (result.bytes_up / total_bytes)
+            down_time = transfer - up_time
+        else:
+            up_time = down_time = 0.0
+        idle_time = (
+            result.phase(Phase.CONNECTION)
+            + result.phase(Phase.PREPARATION)
+            + result.phase(Phase.EXECUTION)
+        )
+        return EnergyBreakdown(
+            tx_j=up_time * radio.tx_watts,
+            rx_j=down_time * radio.rx_watts,
+            idle_j=idle_time * self.idle_watts,
+            tail_j=radio.tail_seconds * radio.tail_watts,
+        )
+
+    def normalized_offload_energy(
+        self, result: "RequestResult", scenario: str
+    ) -> float:
+        """Offload energy over local energy — Fig. 10's y-axis."""
+        local = self.local_energy(result.request.profile).total_j
+        off = self.offload_energy(result, scenario).total_j
+        return off / local if local > 0 else float("inf")

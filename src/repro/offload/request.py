@@ -1,0 +1,131 @@
+"""Offloading requests and their four-phase timeline (§III-B).
+
+The paper decomposes every offloading request into:
+
+1. **Network Connection** — establishing the device↔cloud connection;
+2. **Runtime Preparation** — setting up the mobile code runtime after
+   the request arrives (the VM cold-start killer);
+3. **Data Transfer** — moving code/files/parameters/results;
+4. **Computation Execution** — pure execution of the offloaded task.
+
+*Offloading speedup* is local execution time over offloading response
+time; a speedup below 1 is an **offloading failure**.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..workloads.base import WorkloadProfile
+
+__all__ = ["Phase", "PhaseTimeline", "OffloadRequest", "RequestResult"]
+
+
+class Phase(str, enum.Enum):
+    """The four offloading phases of §III-B."""
+
+    CONNECTION = "network_connection"
+    PREPARATION = "runtime_preparation"
+    TRANSFER = "data_transfer"
+    EXECUTION = "computation_execution"
+
+
+class PhaseTimeline:
+    """Accumulates per-phase durations for one request."""
+
+    def __init__(self) -> None:
+        self._durations: Dict[str, float] = {p.value: 0.0 for p in Phase}
+
+    def add(self, phase: Phase, seconds: float) -> None:
+        """Accumulate ``seconds`` into one phase."""
+        if seconds < 0:
+            raise ValueError(f"negative duration for {phase}")
+        self._durations[phase.value] += seconds
+
+    def get(self, phase: Phase) -> float:
+        """Accumulated duration of one phase."""
+        return self._durations[phase.value]
+
+    @property
+    def total(self) -> float:
+        return sum(self._durations.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Durations keyed by phase value string."""
+        return dict(self._durations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in self._durations.items())
+        return f"<PhaseTimeline {parts}>"
+
+
+@dataclass
+class OffloadRequest:
+    """One offloading request as submitted by a client device."""
+
+    request_id: int
+    device_id: str
+    app_id: str
+    profile: "WorkloadProfile"
+    submitted_at: float = 0.0
+    #: sequence number of this request from its device for this app
+    seq_on_device: int = 0
+    #: per-request task-size multiplier (a hard chess position takes
+    #: longer both locally and in the cloud); 1.0 = the profile mean
+    work_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.request_id < 0:
+            raise ValueError("request_id must be >= 0")
+        if self.work_scale <= 0:
+            raise ValueError("work_scale must be positive")
+
+
+@dataclass
+class RequestResult:
+    """Completed-request record, the unit all experiments aggregate."""
+
+    request: OffloadRequest
+    timeline: PhaseTimeline
+    started_at: float
+    finished_at: float
+    executed_on: str = ""  # runtime instance id (CID)
+    code_cache_hit: bool = False
+    bytes_up: int = 0
+    bytes_down: int = 0
+    blocked: bool = False  # rejected by the access controller
+    #: the decision engine kept this task on the device (hybrid client)
+    executed_locally: bool = False
+    #: the client aborted the offload at its deadline and fell back
+    deadline_aborted: bool = False
+
+    @property
+    def response_time(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def local_time(self) -> float:
+        return self.request.profile.local_time_s * self.request.work_scale
+
+    @property
+    def speedup(self) -> float:
+        """Local execution time over offloading response time."""
+        if self.response_time <= 0:
+            return float("inf")
+        return self.local_time / self.response_time
+
+    @property
+    def offloading_failure(self) -> bool:
+        """True when offloading did not beat local execution (§III-B).
+
+        Only meaningful for requests that actually offloaded; local
+        executions are the decision engine *avoiding* a failure.
+        """
+        return not self.executed_locally and self.speedup <= 1.0
+
+    def phase(self, phase: Phase) -> float:
+        """Shortcut for ``timeline.get(phase)``."""
+        return self.timeline.get(phase)

@@ -1,0 +1,58 @@
+"""Rattrap platform core: dispatcher, warehouse, shared layer, access
+control, scheduler, and the three comparable cloud platforms."""
+
+from .access import (
+    AccessDecision,
+    PermissionTable,
+    RequestAccessController,
+)
+from .base import CloudPlatform
+from .cluster import ClusterPlatform
+from .container_db import ContainerDB, ContainerRecord
+from .dispatcher import Dispatcher
+from .migration import MigrationError, MigrationManager, MigrationReport
+from .qos import QoSController, RebalanceAction
+from .rattrap import RattrapPlatform
+from .registry import (
+    ContainerImage,
+    ImageLayer,
+    ImagePuller,
+    ImageRegistry,
+    PullReport,
+    SLACKER_STARTUP_FRACTION,
+    cac_image,
+)
+from .scheduler import MonitorScheduler
+from .shared_layer import OffloadingIOLayer, SharedResourceLayer
+from .vmcloud import VMCloudPlatform
+from .warehouse import AppWarehouse, CacheEntry
+
+__all__ = [
+    "CloudPlatform",
+    "ClusterPlatform",
+    "ImageRegistry",
+    "ImagePuller",
+    "ImageLayer",
+    "ContainerImage",
+    "PullReport",
+    "SLACKER_STARTUP_FRACTION",
+    "cac_image",
+    "MigrationManager",
+    "MigrationReport",
+    "MigrationError",
+    "QoSController",
+    "RebalanceAction",
+    "VMCloudPlatform",
+    "RattrapPlatform",
+    "Dispatcher",
+    "ContainerDB",
+    "ContainerRecord",
+    "MonitorScheduler",
+    "AppWarehouse",
+    "CacheEntry",
+    "SharedResourceLayer",
+    "OffloadingIOLayer",
+    "RequestAccessController",
+    "PermissionTable",
+    "AccessDecision",
+]

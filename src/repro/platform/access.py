@@ -1,0 +1,144 @@
+"""Request-based Access Controller (§IV-E).
+
+Containers are a lighter isolation mechanism than VMs, and Rattrap's
+shared architecture (Shared Resource Layer, App Warehouse) widens the
+attack surface, so Rattrap adds a security guard:
+
+- it "automatically analyzes the offloading requests with information
+  received and generates the permission table for them";
+- "offloading requests from the same application share one permission
+  table ... the analysis happens only once for each mobile app";
+- every workflow coming out of a Cloud Android Container is filtered
+  and permission violations are recorded;
+- "when the number of violations reaches the threshold, offloading
+  requests from this app will be blocked".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set
+
+__all__ = ["PermissionTable", "AccessDecision", "RequestAccessController"]
+
+#: Permissions an offloaded workload may legitimately need.
+KNOWN_PERMISSIONS = frozenset(
+    {
+        "net.outbound",
+        "fs.offload_read",
+        "fs.offload_write",
+        "cpu.execute",
+        "warehouse.fetch",
+        "binder.call",
+    }
+)
+
+#: Operations that are never granted to offloaded code.
+FORBIDDEN_OPERATIONS = frozenset(
+    {
+        "fs.shared_layer_write",  # tamper with the shared base
+        "warehouse.poison",  # replace another app's cached code
+        "devns.escape",  # cross-namespace device access
+        "kernel.module_load",
+    }
+)
+
+
+@dataclass
+class PermissionTable:
+    """Per-app grants, produced by the one-time request analysis."""
+
+    app_id: str
+    granted: FrozenSet[str]
+    created_at: float = 0.0
+    violations: int = 0
+
+    def allows(self, operation: str) -> bool:
+        """Was this operation granted to the app?"""
+        return operation in self.granted
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    allowed: bool
+    reason: str = ""
+
+
+class RequestAccessController:
+    """Admission + workflow filtering for a Rattrap deployment."""
+
+    def __init__(self, violation_threshold: int = 3, analysis_time_s: float = 0.05):
+        if violation_threshold < 1:
+            raise ValueError("violation_threshold must be >= 1")
+        if analysis_time_s < 0:
+            raise ValueError("analysis_time_s must be >= 0")
+        self.violation_threshold = violation_threshold
+        self.analysis_time_s = analysis_time_s
+        self._tables: Dict[str, PermissionTable] = {}
+        self._blocked: Set[str] = set()
+        self.analyses = 0
+
+    # -- admission ---------------------------------------------------------------
+    def is_blocked(self, app_id: str) -> bool:
+        """Has this app crossed the violation threshold?"""
+        return app_id in self._blocked
+
+    def table_for(self, app_id: str) -> Optional[PermissionTable]:
+        """The app's shared permission table, or None before analysis."""
+        return self._tables.get(app_id)
+
+    def analysis_needed(self, app_id: str) -> bool:
+        """True only for the first request of an app (shared table)."""
+        return app_id not in self._tables
+
+    def admit(
+        self,
+        app_id: str,
+        requested_permissions: FrozenSet[str] = frozenset(
+            {"cpu.execute", "fs.offload_read", "fs.offload_write", "net.outbound"}
+        ),
+        now: float = 0.0,
+    ) -> AccessDecision:
+        """Admission check; generates the permission table on first sight."""
+        if app_id in self._blocked:
+            return AccessDecision(False, f"{app_id} exceeded violation threshold")
+        if app_id not in self._tables:
+            self.analyses += 1
+            granted = frozenset(requested_permissions & KNOWN_PERMISSIONS)
+            self._tables[app_id] = PermissionTable(
+                app_id=app_id, granted=granted, created_at=now
+            )
+        return AccessDecision(True)
+
+    # -- workflow filtering ---------------------------------------------------------
+    def filter_operation(self, app_id: str, operation: str) -> AccessDecision:
+        """Filter one workflow coming out of a container.
+
+        Violations (forbidden or ungranted operations) are recorded on
+        the app's shared table; crossing the threshold blocks the app.
+        """
+        table = self._tables.get(app_id)
+        if table is None:
+            raise KeyError(f"no permission table for {app_id!r}; admit() first")
+        if app_id in self._blocked:
+            return AccessDecision(False, "app is blocked")
+        if operation in FORBIDDEN_OPERATIONS or not table.allows(operation):
+            table.violations += 1
+            if table.violations >= self.violation_threshold:
+                self._blocked.add(app_id)
+                return AccessDecision(
+                    False, f"{app_id} blocked after {table.violations} violations"
+                )
+            return AccessDecision(False, f"operation {operation!r} denied")
+        return AccessDecision(True)
+
+    def unblock(self, app_id: str) -> None:
+        """Administrative unblock (resets the violation counter)."""
+        self._blocked.discard(app_id)
+        table = self._tables.get(app_id)
+        if table is not None:
+            table.violations = 0
+
+    def blocked_apps(self) -> list:
+        """Sorted app ids currently blocked."""
+        return sorted(self._blocked)

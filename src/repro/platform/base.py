@@ -1,0 +1,336 @@
+"""The cloud-platform request lifecycle shared by all three platforms.
+
+:class:`CloudPlatform` implements the end-to-end offloading protocol —
+connection, runtime preparation, data transfer, execution, result
+return — with the per-phase accounting of §III-B.  The three concrete
+platforms (VM cloud, Rattrap(W/O), Rattrap) differ only in the hooks:
+which runtime boots, where migrated data lands, and whether the code
+cache short-circuits uploads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from ..hostos.server import CloudServer
+from ..network.link import Link
+from ..network.transfer import TransferLog, send_messages
+from ..offload.messages import KB, upload_messages, result_message
+from ..offload.request import OffloadRequest, Phase, PhaseTimeline, RequestResult
+from ..runtime.base import RuntimeEnvironment
+from .access import AccessDecision
+from .container_db import ContainerDB, ContainerRecord
+from .dispatcher import Dispatcher
+from .scheduler import MonitorScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..sim.process import Process
+
+__all__ = ["CloudPlatform"]
+
+
+class CloudPlatform:
+    """Abstract cloud platform serving mobile offloading requests."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        env: "Environment",
+        server: Optional[CloudServer] = None,
+        dispatch_policy: str = "per-device",
+    ):
+        self.env = env
+        self.server = server if server is not None else CloudServer(env)
+        self.db = ContainerDB()
+        self.scheduler = MonitorScheduler(env, self.db)
+        self.dispatcher = Dispatcher(
+            env,
+            self.db,
+            self.scheduler,
+            runtime_factory=self.make_runtime,
+            policy=dispatch_policy,
+            warehouse=self.warehouse_or_none(),
+        )
+        self.transfer_log = TransferLog()
+        self.results: List[RequestResult] = []
+        #: Monitor & Scheduler process-level priorities: app_id -> CPU
+        #: weight under contention (default 1.0).  Lets interactive
+        #: offloaded tasks outrank batch work on a saturated server.
+        self.priority_weights: Dict[str, float] = {}
+        #: persistent connections: once > 0, a device's follow-up
+        #: requests within the window skip the TCP handshake (real
+        #: offloading frameworks hold their sockets open).
+        self.keepalive_s: float = 0.0
+        self._last_contact: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ hooks
+    def make_runtime(self, cid: str, request: OffloadRequest) -> RuntimeEnvironment:
+        """Create (not boot) the runtime environment for a cold request."""
+        raise NotImplementedError
+
+    def warehouse_or_none(self):
+        """Platforms with a code cache return their App Warehouse."""
+        return None
+
+    def code_needed(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> bool:
+        """Must the client upload the app code for this request?"""
+        raise NotImplementedError
+
+    def on_code_received(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> Generator:
+        """Persist freshly uploaded code (platform-specific storage)."""
+        code_bytes = int(request.profile.code_size_kb * KB)
+        yield self.env.process(
+            self.server.disk.write(code_bytes, virt_overhead=runtime.io_overhead)
+        )
+
+    def fetch_code(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> Generator:
+        """Read the app code into the runtime before a cold load."""
+        code_bytes = int(request.profile.code_size_kb * KB)
+        yield self.env.process(
+            self.server.disk.read(code_bytes, virt_overhead=runtime.io_overhead)
+        )
+
+    def stage_payload(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> None:
+        """Persist the request's file/parameter payload for execution.
+
+        The write-back is asynchronous (received data is already in the
+        page cache; flushing does not stall the request), so staging
+        never extends the transfer phase — it only loads the device.
+        """
+        payload = int(
+            (request.profile.file_size_kb + request.profile.param_size_kb) * KB
+        )
+        if payload:
+            dev = runtime.offload_io_device()
+            proc = self.env.process(
+                dev.write(payload, virt_overhead=runtime.offload_io_overhead())
+            )
+            proc.defused = True
+
+    def after_execution(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> None:
+        """Post-completion cleanup hook (Rattrap burns offload data)."""
+
+    def on_app_loaded(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> None:
+        """Code became warm in ``runtime`` (warehouse CID registration)."""
+
+    def record_execution_effects(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> None:
+        """Observability hook after the compute finishes (Binder traffic
+        counters, per-container statistics, ...)."""
+
+    def admit(self, request: OffloadRequest) -> AccessDecision:
+        """Admission control (Rattrap's access controller overrides)."""
+        return AccessDecision(True)
+
+    def admission_delay_s(self, request: OffloadRequest) -> float:
+        """Extra preparation time spent analyzing a first-seen app."""
+        return 0.0
+
+    # ------------------------------------------------------------- lifecycle
+    def submit(self, request: OffloadRequest, link: Link) -> "Process":
+        """Serve one request; the returned process yields a RequestResult."""
+        return self.env.process(self._serve(request, link))
+
+    def _serve(self, request: OffloadRequest, link: Link) -> Generator:
+        env = self.env
+        timeline = PhaseTimeline()
+        started = env.now
+
+        # -- phase 1: network connection --------------------------------------
+        t0 = env.now
+        last = self._last_contact.get(request.device_id)
+        if (
+            self.keepalive_s <= 0
+            or last is None
+            or env.now - last > self.keepalive_s
+        ):
+            yield env.process(link.connect(env))
+        timeline.add(Phase.CONNECTION, env.now - t0)
+
+        # -- admission (access controller) -------------------------------------
+        analysis_s = self.admission_delay_s(request)
+        decision = self.admit(request)
+        if not decision.allowed:
+            result = RequestResult(
+                request=request,
+                timeline=timeline,
+                started_at=started,
+                finished_at=env.now,
+                blocked=True,
+            )
+            self.results.append(result)
+            return result
+
+        # -- phase 2: runtime preparation ----------------------------------------
+        t0 = env.now
+        if analysis_s:
+            yield env.timeout(analysis_s)
+        record: ContainerRecord = yield from self.dispatcher.acquire(request)
+        runtime = record.runtime
+        timeline.add(Phase.PREPARATION, env.now - t0)
+
+        # Guest network-stack traversal (NAT for VMs, veth for
+        # containers) — part of the network-connection phase.
+        if runtime.net_overhead_s:
+            t0 = env.now
+            yield env.timeout(runtime.net_overhead_s)
+            timeline.add(Phase.CONNECTION, env.now - t0)
+
+        self.scheduler.request_started(record.cid)
+        try:
+            # -- phase 3a: upload ---------------------------------------------------
+            include_code = self.code_needed(request, runtime)
+            msgs = upload_messages(request.profile, include_code)
+            bytes_up = sum(m.size_bytes for m in msgs)
+            t0 = env.now
+            yield env.process(
+                send_messages(env, link, msgs, "up", self.transfer_log)
+            )
+            if include_code:
+                yield from self.on_code_received(request, runtime)
+            self.stage_payload(request, runtime)
+            timeline.add(Phase.TRANSFER, env.now - t0)
+
+            # -- phase 4: computation execution ----------------------------------------
+            t0 = env.now
+            cache_hit = not include_code
+            yield from self._execute(request, runtime)
+            timeline.add(Phase.EXECUTION, env.now - t0)
+
+            # -- phase 3b: result download ------------------------------------------------
+            result_msg = result_message(request.profile)
+            t0 = env.now
+            yield env.process(
+                send_messages(env, link, [result_msg], "down", self.transfer_log)
+            )
+            timeline.add(Phase.TRANSFER, env.now - t0)
+
+            self.after_execution(request, runtime)
+        finally:
+            self.scheduler.request_finished(record.cid)
+
+        runtime.requests_served += 1
+        self._last_contact[request.device_id] = env.now
+        result = RequestResult(
+            request=request,
+            timeline=timeline,
+            started_at=started,
+            finished_at=env.now,
+            executed_on=record.cid,
+            code_cache_hit=cache_hit,
+            bytes_up=bytes_up,
+            bytes_down=result_msg.size_bytes,
+        )
+        self.results.append(result)
+        return result
+
+    def _execute(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> Generator:
+        """Computation Execution: cold code load, CPU work, offload I/O."""
+        env = self.env
+        profile = request.profile
+        if not runtime.has_app(request.app_id):
+            yield from self.fetch_code(request, runtime)
+            if profile.code_load_s:
+                yield self.server.cpu.execute(
+                    profile.code_load_s,
+                    speed_factor=runtime.cpu_speed_factor,
+                    tag=f"load:{request.app_id}",
+                )
+            runtime.mark_loaded(request.app_id)
+            self.on_app_loaded(request, runtime)
+        cpu_work = profile.cloud_cpu_s * request.work_scale + profile.framework_overhead_s
+        if cpu_work:
+            yield self.server.cpu.execute(
+                cpu_work,
+                speed_factor=runtime.cpu_speed_factor,
+                tag=request.app_id,
+                weight=self.priority_weights.get(request.app_id, 1.0),
+            )
+        if profile.exec_io_ops:
+            dev = runtime.offload_io_device()
+            yield env.process(
+                dev.batch(
+                    profile.exec_io_ops,
+                    profile.exec_io_bytes,
+                    op="read",
+                    virt_overhead=runtime.offload_io_overhead(),
+                )
+            )
+        self.record_execution_effects(request, runtime)
+
+    # ------------------------------------------------------- client estimates
+    def expected_preparation_s(self, request: OffloadRequest) -> float:
+        """Runtime-preparation estimate the platform advertises to
+        clients (drives the decision engine's break-even analysis)."""
+        key = self.dispatcher.allocation_key(request)
+        record = self.dispatcher._record_for_key(key)
+        if record is not None and record.runtime.is_ready:
+            return self.dispatcher.warm_dispatch_s
+        probe = self.make_runtime("probe", request)
+        return probe.boot_sequence.idle_duration_s
+
+    def code_cached(self, request: OffloadRequest) -> bool:
+        """Would this request skip the code upload?"""
+        wh = self.warehouse_or_none()
+        if wh is not None:
+            return wh.has_code(request.app_id)
+        key = self.dispatcher.allocation_key(request)
+        record = self.dispatcher._record_for_key(key)
+        return record is not None and record.runtime.has_app(request.app_id)
+
+    # -------------------------------------------------------- idle reclamation
+    def reap_idle_runtimes(self, idle_timeout_s: float) -> List[str]:
+        """Stop every READY runtime idle for longer than the timeout.
+
+        Long-running deployments reclaim idle environments to free
+        memory for other tenants — which is why cold starts recur in
+        the trace-driven evaluation (Fig. 11): a new app session after
+        a long gap finds its previous runtime gone.
+        """
+        if idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
+        now = self.env.now
+        reaped: List[str] = []
+        for record in self.db.all_records():
+            if (
+                record.runtime.is_ready
+                and record.active_requests == 0
+                and now - max(record.last_used, record.created_at) > idle_timeout_s
+            ):
+                record.runtime.stop()
+                reaped.append(record.cid)
+        return reaped
+
+    def start_idle_reaper(
+        self, idle_timeout_s: float = 120.0, check_interval_s: float = 10.0
+    ):
+        """Spawn a background process that reaps idle runtimes forever."""
+        if check_interval_s <= 0:
+            raise ValueError("check_interval_s must be positive")
+
+        def reaper(env):
+            while True:
+                yield env.timeout(check_interval_s)
+                self.reap_idle_runtimes(idle_timeout_s)
+
+        return self.env.process(reaper(self.env))
+
+    # ------------------------------------------------------------------ stats
+    def completed(self) -> List[RequestResult]:
+        """Results of every request that was actually served."""
+        return [r for r in self.results if not r.blocked]
+
+    def runtime_count(self) -> int:
+        """Number of runtime instances ever created."""
+        return len(self.db)

@@ -1,0 +1,107 @@
+"""Multi-server Rattrap deployment (scale-out extension).
+
+The paper evaluates one server; a production mobile cloud runs many.
+:class:`ClusterPlatform` fronts N per-server platforms with a cluster
+dispatcher and exposes the same ``submit`` API as a single platform, so
+all replay tooling works unchanged.
+
+Routing policies:
+
+- ``device-sticky`` — hash a device onto one server (session locality:
+  the device's runtime, code and warm state live in one place);
+- ``least-loaded``  — pick the server with the fewest active requests
+  at submission (better load spread, worse cache locality: the code
+  cache must warm on every server the app touches).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from ..network.link import Link
+from ..offload.request import OffloadRequest, RequestResult
+from .base import CloudPlatform
+from .rattrap import RattrapPlatform
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..sim.process import Process
+
+__all__ = ["ClusterPlatform"]
+
+PlatformFactory = Callable[["Environment"], CloudPlatform]
+
+
+class ClusterPlatform:
+    """A fleet of cloud servers behind one dispatch point."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        servers: int = 3,
+        platform_factory: Optional[PlatformFactory] = None,
+        policy: str = "device-sticky",
+    ):
+        if servers < 1:
+            raise ValueError("servers must be >= 1")
+        if policy not in ("device-sticky", "least-loaded"):
+            raise ValueError(f"unknown cluster policy {policy!r}")
+        self.env = env
+        self.policy = policy
+        factory = platform_factory or (lambda e: RattrapPlatform(e, optimized=True))
+        self.nodes: List[CloudPlatform] = [factory(env) for _ in range(servers)]
+        self.routed: Dict[str, int] = {}  # device -> node index (sticky)
+        self.results: List[RequestResult] = []
+
+    # -- routing -----------------------------------------------------------------
+    def _sticky_index(self, device_id: str) -> int:
+        digest = hashlib.sha1(device_id.encode()).digest()
+        return int.from_bytes(digest[:4], "little") % len(self.nodes)
+
+    def route(self, request: OffloadRequest) -> CloudPlatform:
+        """Pick the serving node for a request."""
+        if self.policy == "device-sticky":
+            idx = self.routed.setdefault(
+                request.device_id, self._sticky_index(request.device_id)
+            )
+            return self.nodes[idx]
+        # least-loaded: fewest in-flight requests, ties to lowest index.
+        return min(self.nodes, key=lambda n: n.scheduler.active_requests)
+
+    # -- platform API -----------------------------------------------------------------
+    def submit(self, request: OffloadRequest, link: Link) -> "Process":
+        """Route and serve one request (same contract as CloudPlatform)."""
+        node = self.route(request)
+        proc = node.submit(request, link)
+
+        def collect(env):
+            result = yield proc
+            self.results.append(result)
+            return result
+
+        return self.env.process(collect(self.env))
+
+    def completed(self) -> List[RequestResult]:
+        """Served results across every node."""
+        return [r for r in self.results if not r.blocked]
+
+    def runtime_count(self) -> int:
+        """Total runtimes across the fleet."""
+        return sum(len(node.db) for node in self.nodes)
+
+    def total_memory_mb(self) -> float:
+        """Runtime memory reserved across the fleet."""
+        return sum(node.db.total_memory_mb() for node in self.nodes)
+
+    def start_idle_reaper(self, idle_timeout_s: float = 120.0,
+                          check_interval_s: float = 10.0) -> list:
+        """Start per-node idle reapers; returns their processes."""
+        return [
+            node.start_idle_reaper(idle_timeout_s, check_interval_s)
+            for node in self.nodes
+        ]
+
+    def node_loads(self) -> List[int]:
+        """Requests served per node (distribution check)."""
+        return [len(node.results) for node in self.nodes]

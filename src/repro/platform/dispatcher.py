@@ -1,0 +1,139 @@
+"""Dispatcher: allocates execution environments to offloading requests.
+
+Fig. 4: the Dispatcher "handles the new arrived offloading requests and
+allocates execution environments for them".  With the App Warehouse's
+cache table it "tends to allocate offloading tasks to the Cloud
+Android Container where requests from the same application have been
+executed before, which saves the time for loading codes".
+
+Two policies are provided:
+
+- ``per-device`` — each device owns one runtime (the evaluation setup:
+  5 devices, 5 VMs/containers);
+- ``app-affinity`` — route to any warm, least-loaded runtime holding
+  the app's code; boot a new runtime only when none exists.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
+
+from ..offload.request import OffloadRequest
+from ..runtime.base import RuntimeEnvironment
+from .container_db import ContainerDB, ContainerRecord
+from .scheduler import MonitorScheduler
+from .warehouse import AppWarehouse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+    from ..sim.events import Event
+
+__all__ = ["Dispatcher"]
+
+RuntimeFactory = Callable[[str, OffloadRequest], RuntimeEnvironment]
+
+
+class Dispatcher:
+    """Runtime allocation with cold-boot coordination."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        db: ContainerDB,
+        scheduler: MonitorScheduler,
+        runtime_factory: RuntimeFactory,
+        policy: str = "per-device",
+        warehouse: Optional[AppWarehouse] = None,
+        warm_dispatch_s: float = 0.002,
+    ):
+        if policy not in ("per-device", "app-affinity"):
+            raise ValueError(f"unknown dispatch policy {policy!r}")
+        if warm_dispatch_s < 0:
+            raise ValueError("warm_dispatch_s must be >= 0")
+        self.env = env
+        self.db = db
+        self.scheduler = scheduler
+        self.runtime_factory = runtime_factory
+        self.policy = policy
+        self.warehouse = warehouse
+        self.warm_dispatch_s = warm_dispatch_s
+        #: pending cold boots keyed by allocation key
+        self._boots: Dict[str, "Event"] = {}
+        #: most recent runtime record booted per allocation key — lets a
+        #: request that waited on another's boot resolve the runtime even
+        #: before its app code is loaded there
+        self._boot_records: Dict[str, ContainerRecord] = {}
+        self.cold_boots = 0
+        self.warm_dispatches = 0
+
+    # -- allocation keys ---------------------------------------------------------
+    def allocation_key(self, request: OffloadRequest) -> str:
+        """The key runtimes are pooled under for this request."""
+        if self.policy == "per-device":
+            return request.device_id
+        return f"app:{request.app_id}"
+
+    # -- acquisition ---------------------------------------------------------------
+    def acquire(self, request: OffloadRequest) -> Generator:
+        """Process generator: resolve a READY runtime for ``request``.
+
+        Returns the :class:`ContainerRecord`.  Elapsed simulated time is
+        the request's *Runtime Preparation* phase.
+        """
+        if self.policy == "app-affinity":
+            record = self._affinity_candidate(request)
+            if record is not None:
+                self.warm_dispatches += 1
+                yield self.env.timeout(self.warm_dispatch_s)
+                return record
+        key = self.allocation_key(request)
+        record = self._record_for_key(key)
+        if record is not None and record.runtime.is_ready:
+            self.warm_dispatches += 1
+            yield self.env.timeout(self.warm_dispatch_s)
+            return record
+        boot_event = self._boots.get(key)
+        if boot_event is not None:
+            # Another request already triggered this runtime's boot.
+            yield boot_event
+            record = self._record_for_key(key)
+            if record is None:
+                record = self._boot_records[key]
+            return record
+        return (yield from self._cold_boot(key, request))
+
+    def _record_for_key(self, key: str) -> Optional[ContainerRecord]:
+        if key.startswith("app:"):
+            candidates = self.db.with_app(key[4:])
+            return self.scheduler.pick_least_loaded(candidates)
+        from ..runtime.base import RuntimeState
+
+        owned = [
+            r
+            for r in self.db.by_device(key)
+            if r.runtime.state in (RuntimeState.BOOTING, RuntimeState.READY)
+        ]
+        return owned[0] if owned else None
+
+    def _affinity_candidate(self, request: OffloadRequest) -> Optional[ContainerRecord]:
+        """Warm container that has executed this app before (cache table)."""
+        if self.warehouse is None:
+            return None
+        cids = self.warehouse.containers_for(request.app_id)
+        candidates = [self.db.get(cid) for cid in cids if self.db.exists(cid)]
+        return self.scheduler.pick_least_loaded(candidates)
+
+    def _cold_boot(self, key: str, request: OffloadRequest) -> Generator:
+        self.cold_boots += 1
+        cid = self.db.new_cid()
+        runtime = self.runtime_factory(cid, request)
+        owner = request.device_id if self.policy == "per-device" else ""
+        record = self.db.register(runtime, owner_device=owner, now=self.env.now)
+        self._boot_records[key] = record
+        boot = self.env.process(runtime.boot())
+        self._boots[key] = boot
+        try:
+            yield boot
+        finally:
+            self._boots.pop(key, None)
+        return record

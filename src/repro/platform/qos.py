@@ -1,0 +1,120 @@
+"""QoS controller: detect degradation, rebalance by live migration.
+
+The related CMCloud [1] "detects potential QoS failures by performance
+estimation and guarantees QoS requirements by VM migration".  This
+module brings the same control loop to the Rattrap cluster: watch
+per-node request concurrency, and when a node runs persistently hotter
+than the fleet, live-migrate its idle runtimes to the coolest node —
+cheap for containers (see :mod:`repro.platform.migration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+from .cluster import ClusterPlatform
+from .migration import MigrationError, MigrationManager, MigrationReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+__all__ = ["QoSController", "RebalanceAction"]
+
+
+@dataclass
+class RebalanceAction:
+    """One controller decision and its outcome."""
+
+    time: float
+    from_node: int
+    to_node: int
+    report: Optional[MigrationReport] = None
+    skipped_reason: str = ""
+
+
+class QoSController:
+    """Watches a cluster and migrates runtimes off overloaded nodes."""
+
+    def __init__(
+        self,
+        cluster: ClusterPlatform,
+        manager: Optional[MigrationManager] = None,
+        check_interval_s: float = 10.0,
+        imbalance_threshold: int = 2,
+        max_migrations_per_check: int = 1,
+    ):
+        if check_interval_s <= 0:
+            raise ValueError("check_interval_s must be positive")
+        if imbalance_threshold < 1:
+            raise ValueError("imbalance_threshold must be >= 1")
+        if max_migrations_per_check < 1:
+            raise ValueError("max_migrations_per_check must be >= 1")
+        self.cluster = cluster
+        self.manager = manager or MigrationManager()
+        self.check_interval_s = check_interval_s
+        self.imbalance_threshold = imbalance_threshold
+        self.max_migrations_per_check = max_migrations_per_check
+        self.actions: List[RebalanceAction] = []
+        self._process = None
+
+    # -- measurement -----------------------------------------------------------
+    def node_pressure(self) -> List[int]:
+        """In-flight requests per node right now."""
+        return [node.scheduler.active_requests for node in self.cluster.nodes]
+
+    def _pick_imbalance(self) -> Optional[tuple]:
+        """(hot_index, cool_index) when the spread crosses the threshold."""
+        pressure = self.node_pressure()
+        hot = max(range(len(pressure)), key=lambda i: pressure[i])
+        cool = min(range(len(pressure)), key=lambda i: pressure[i])
+        if pressure[hot] - pressure[cool] < self.imbalance_threshold:
+            return None
+        return hot, cool
+
+    # -- control loop --------------------------------------------------------------
+    def rebalance_once(self) -> Generator:
+        """Process generator: one check-and-migrate pass."""
+        env = self.cluster.env
+        decision = self._pick_imbalance()
+        if decision is None:
+            return 0
+        hot, cool = decision
+        src = self.cluster.nodes[hot]
+        dst = self.cluster.nodes[cool]
+        migrated = 0
+        # Move idle READY runtimes only — in-flight work stays put.
+        candidates = [
+            rec for rec in src.db.all_records()
+            if rec.runtime.is_ready and rec.active_requests == 0
+        ]
+        for record in candidates[: self.max_migrations_per_check]:
+            action = RebalanceAction(time=env.now, from_node=hot, to_node=cool)
+            try:
+                report = yield from self.manager.migrate(record, src, dst)
+                action.report = report
+                # Follow-up requests from the runtime's device must land
+                # on the new node.
+                if record.owner_device:
+                    self.cluster.routed[record.owner_device] = cool
+                migrated += 1
+            except MigrationError as exc:
+                action.skipped_reason = str(exc)
+            self.actions.append(action)
+        return migrated
+
+    def start(self):
+        """Run the control loop forever (a background process)."""
+
+        def loop(env):
+            while True:
+                yield env.timeout(self.check_interval_s)
+                yield env.process(self.rebalance_once())
+
+        self._process = self.cluster.env.process(loop(self.cluster.env))
+        return self._process
+
+    @property
+    def migrations(self) -> List[MigrationReport]:
+        """Reports of every migration actually performed."""
+        return [a.report for a in self.actions if a.report is not None]

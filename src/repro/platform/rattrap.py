@@ -1,0 +1,178 @@
+"""The Rattrap platform — full and W/O variants (§IV, §VI-A).
+
+- :class:`RattrapPlatform` (``optimized=True``): Cloud Android
+  Containers with the customized OS, Shared Resource Layer (shared
+  base + tmpfs Sharing Offloading I/O with burn-after-reading), the
+  App Warehouse code cache, and the Request-based Access Controller.
+- ``optimized=False`` is **Rattrap(W/O)**: "we only replace VM with
+  Container and employ NO OS optimization, shared resource design and
+  code cache mechanism".
+
+Both load the Android Container Driver into the host kernel before the
+first container starts (and can reap it when idle).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..android.customize import customize_os
+from ..android.image import build_android_image
+from ..hostos.server import CloudServer
+from ..offload.messages import KB
+from ..offload.request import OffloadRequest
+from ..runtime.base import RuntimeEnvironment
+from ..runtime.container import CloudAndroidContainer
+from .access import AccessDecision, RequestAccessController
+from .base import CloudPlatform
+from .shared_layer import SharedResourceLayer
+from .warehouse import AppWarehouse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+__all__ = ["RattrapPlatform"]
+
+
+class RattrapPlatform(CloudPlatform):
+    """Container-based mobile offloading cloud."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        server: Optional[CloudServer] = None,
+        optimized: bool = True,
+        dispatch_policy: str = "per-device",
+        access_controller: Optional[RequestAccessController] = None,
+    ):
+        self.optimized = optimized
+        self.name = "rattrap" if optimized else "rattrap-wo"
+        # The warehouse must exist before CloudPlatform wires the
+        # dispatcher (warehouse_or_none is consulted in __init__).
+        self.warehouse: Optional[AppWarehouse] = AppWarehouse() if optimized else None
+        super().__init__(env, server=server, dispatch_policy=dispatch_policy)
+        self.access = access_controller or RequestAccessController()
+        # Extend the host kernel before any container starts.  insmod of
+        # the whole pack is sub-0.1 s — negligible next to any boot — so
+        # it happens synchronously at platform construction.
+        from ..hostos.modules import android_container_driver_pack
+
+        for spec in android_container_driver_pack():
+            if not self.server.kernel.is_loaded(spec.name):
+                self.server.kernel.load_module(spec, now=env.now)
+        self.shared_layer: Optional[SharedResourceLayer] = None
+        if optimized:
+            custom = customize_os(build_android_image())
+            self.shared_layer = SharedResourceLayer(self.server, custom)
+        #: apps whose code upload is in flight: later requests treat the
+        #: cache as hit and wait for the upload instead of re-sending.
+        self._code_pending: dict = {}
+
+    # ------------------------------------------------------------------ hooks
+    def warehouse_or_none(self):
+        return self.warehouse
+
+    def make_runtime(self, cid: str, request: OffloadRequest) -> RuntimeEnvironment:
+        shared_base = self.shared_layer.base_layer if self.shared_layer else None
+        return CloudAndroidContainer(
+            self.server, cid, optimized=self.optimized, shared_base=shared_base
+        )
+
+    def code_needed(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> bool:
+        """With the code cache, upload only on a platform-wide miss;
+        without it, per-container like the VM cloud."""
+        if self.warehouse is None:
+            return not runtime.has_app(request.app_id)
+        app = request.app_id
+        if app in self._code_pending:
+            return False  # upload already in flight — treat as hit
+        if self.warehouse.lookup(app) is not None:
+            return False
+        # Reserve: this request carries the code, once and for all.
+        self._code_pending[app] = self.env.event()
+        return True
+
+    def on_code_received(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> Generator:
+        code_bytes = int(request.profile.code_size_kb * KB)
+        if self.warehouse is not None:
+            self.warehouse.store(request.app_id, code_bytes, now=self.env.now)
+        yield self.env.process(self.server.disk.write(code_bytes))
+        pending = self._code_pending.pop(request.app_id, None)
+        if pending is not None:
+            pending.succeed()
+
+    def fetch_code(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> Generator:
+        # A concurrent first-wave request may reach code load before the
+        # reserving request finished uploading — wait for the warehouse.
+        pending = self._code_pending.get(request.app_id)
+        if pending is not None and not pending.processed:
+            yield pending
+        code_bytes = int(request.profile.code_size_kb * KB)
+        yield self.env.process(
+            self.server.disk.read(code_bytes, virt_overhead=runtime.io_overhead)
+        )
+
+    def on_app_loaded(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> None:
+        if self.warehouse is not None:
+            self.warehouse.register_execution(request.app_id, runtime.instance_id)
+
+    def stage_payload(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> None:
+        payload = int(
+            (request.profile.file_size_kb + request.profile.param_size_kb) * KB
+        )
+        if payload == 0:
+            return
+        if self.optimized and self.shared_layer is not None:
+            # Sharing Offloading I/O: stage into the shared tmpfs layer.
+            key = f"req-{request.request_id}"
+            self.shared_layer.offload_io.stage(key, payload, now=self.env.now)
+            proc = self.env.process(self.server.tmpfs.write(payload))
+        else:
+            # Exclusive offloading I/O inside the container's own layer.
+            proc = self.env.process(self.server.disk.write(payload))
+        proc.defused = True
+
+    def record_execution_effects(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> None:
+        """Offloaded code talks to system services over Binder — the
+        driver the Android Container Driver namespaces per container.
+        Invoking the offloaded method + returning the result is at
+        least two transactions."""
+        from ..runtime.container import CloudAndroidContainer
+
+        if isinstance(runtime, CloudAndroidContainer):
+            runtime.binder_transaction()
+            runtime.binder_transaction()
+
+    def after_execution(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> None:
+        """Burn after reading: free the request's staged offload data."""
+        if self.optimized and self.shared_layer is not None:
+            key = f"req-{request.request_id}"
+            if key in self.shared_layer.offload_io.staged_requests():
+                self.shared_layer.offload_io.burn(key)
+
+    # -------------------------------------------------------- access control
+    def admit(self, request: OffloadRequest) -> AccessDecision:
+        return self.access.admit(request.app_id, now=self.env.now)
+
+    def admission_delay_s(self, request: OffloadRequest) -> float:
+        if self.access.analysis_needed(request.app_id):
+            return self.access.analysis_time_s
+        return 0.0
+
+    # -------------------------------------------------------------- shutdown
+    def shutdown(self) -> list:
+        """Stop all runtimes and unload idle Android driver modules."""
+        for record in self.db.all_records():
+            if record.runtime.is_ready:
+                record.runtime.stop()
+        return self.server.unload_android_driver()

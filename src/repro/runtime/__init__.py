@@ -1,0 +1,25 @@
+"""Code runtime environments: Android VM and Cloud Android Container."""
+
+from .base import RuntimeEnvironment, RuntimeError_, RuntimeState
+from .container import (
+    CAC_MEMORY_MB,
+    CAC_NONOPT_DISK_BYTES,
+    CAC_NONOPT_MEMORY_MB,
+    CAC_PRIVATE_BYTES,
+    CloudAndroidContainer,
+)
+from .vm import VM_DISK_BYTES, VM_MEMORY_MB, AndroidVM
+
+__all__ = [
+    "RuntimeEnvironment",
+    "RuntimeState",
+    "RuntimeError_",
+    "AndroidVM",
+    "VM_MEMORY_MB",
+    "VM_DISK_BYTES",
+    "CloudAndroidContainer",
+    "CAC_MEMORY_MB",
+    "CAC_NONOPT_MEMORY_MB",
+    "CAC_PRIVATE_BYTES",
+    "CAC_NONOPT_DISK_BYTES",
+]

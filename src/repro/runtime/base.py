@@ -1,0 +1,188 @@
+"""Runtime-environment lifecycle shared by VMs and containers.
+
+A runtime environment hosts offloaded mobile code: it boots on a
+server, holds memory/disk resources while alive, remembers which app
+packages it has loaded, and exposes the storage path its offloading
+I/O uses — the knob Rattrap turns (exclusive-on-HDD vs shared-tmpfs,
+§IV-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator, Optional, Set
+
+from ..android.boot import BootSequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hostos.server import CloudServer
+    from ..hostos.storage import StorageDevice
+
+__all__ = ["RuntimeState", "RuntimeEnvironment", "RuntimeError_"]
+
+MB = 1024 * 1024
+
+
+class RuntimeError_(RuntimeError):
+    """Invalid runtime lifecycle transition."""
+
+
+class RuntimeState(str, enum.Enum):
+    CREATED = "created"
+    BOOTING = "booting"
+    READY = "ready"
+    STOPPED = "stopped"
+
+
+class RuntimeEnvironment:
+    """Base class for Android VM and Cloud Android Container."""
+
+    #: subclass identity used in reports
+    kind = "generic"
+
+    def __init__(
+        self,
+        server: "CloudServer",
+        instance_id: str,
+        boot_sequence: BootSequence,
+        memory_mb: float,
+        disk_bytes: int,
+        cpu_speed_factor: float = 1.0,
+        io_overhead: float = 1.0,
+        net_overhead_s: float = 0.0,
+    ):
+        if memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if disk_bytes < 0:
+            raise ValueError("disk_bytes must be >= 0")
+        self.server = server
+        self.env = server.env
+        self.instance_id = instance_id
+        self.boot_sequence = boot_sequence
+        self.memory_mb = memory_mb
+        self.disk_bytes = disk_bytes
+        self.cpu_speed_factor = cpu_speed_factor
+        self.io_overhead = io_overhead
+        if net_overhead_s < 0:
+            raise ValueError("net_overhead_s must be >= 0")
+        #: per-request guest network-stack cost (NAT/bridge traversal,
+        #: vCPU wakeups for VMs; veth hop for containers)
+        self.net_overhead_s = net_overhead_s
+        self.state = RuntimeState.CREATED
+        self.booted_at: Optional[float] = None
+        self.ready_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        #: app packages whose code is loaded into this runtime (warm)
+        self.loaded_apps: Set[str] = set()
+        self.requests_served = 0
+
+    # -- lifecycle --------------------------------------------------------------
+    def boot(self) -> Generator:
+        """Process generator: boot this runtime on its server.
+
+        Reserves memory and disk up front (the paper's footprints are
+        start-time reservations), then runs the boot sequence under
+        whatever CPU/disk contention currently exists.
+        """
+        if self.state is not RuntimeState.CREATED:
+            raise RuntimeError_(
+                f"{self.instance_id}: boot from state {self.state.value}"
+            )
+        self.state = RuntimeState.BOOTING
+        self.booted_at = self.env.now
+        try:
+            self.server.memory.reserve(self.instance_id, self.memory_mb)
+        except Exception:
+            self.state = RuntimeState.STOPPED
+            raise
+        try:
+            self.server.disk.allocate(self.disk_bytes)
+        except Exception:
+            self.server.memory.release(self.instance_id)
+            self.state = RuntimeState.STOPPED
+            raise
+        self._pre_boot()
+        yield self.env.process(self.boot_sequence.run(self.server))
+        self.state = RuntimeState.READY
+        self.ready_at = self.env.now
+        return self
+
+    def restore(self) -> "RuntimeEnvironment":
+        """Bring a CREATED runtime straight to READY from a checkpoint.
+
+        Used by live migration: the destination instance acquires its
+        resources and becomes serving without running a boot sequence —
+        its state arrived over the wire.
+        """
+        if self.state is not RuntimeState.CREATED:
+            raise RuntimeError_(
+                f"{self.instance_id}: restore from state {self.state.value}"
+            )
+        self.state = RuntimeState.BOOTING
+        self.booted_at = self.env.now
+        try:
+            self.server.memory.reserve(self.instance_id, self.memory_mb)
+        except Exception:
+            self.state = RuntimeState.STOPPED
+            raise
+        try:
+            self.server.disk.allocate(self.disk_bytes)
+        except Exception:
+            self.server.memory.release(self.instance_id)
+            self.state = RuntimeState.STOPPED
+            raise
+        self._pre_boot()
+        self.state = RuntimeState.READY
+        self.ready_at = self.env.now
+        return self
+
+    def stop(self) -> None:
+        """Tear the runtime down, releasing memory and disk."""
+        if self.state is RuntimeState.STOPPED:
+            raise RuntimeError_(f"{self.instance_id}: already stopped")
+        if self.state is RuntimeState.BOOTING:
+            raise RuntimeError_(f"{self.instance_id}: cannot stop mid-boot")
+        if self.state is RuntimeState.READY:
+            self.server.memory.release(self.instance_id)
+            self.server.disk.deallocate(self.disk_bytes)
+            self._post_stop()
+        self.state = RuntimeState.STOPPED
+        self.stopped_at = self.env.now
+
+    def _pre_boot(self) -> None:
+        """Subclass hook before the boot sequence runs."""
+
+    def _post_stop(self) -> None:
+        """Subclass hook after resources are released."""
+
+    # -- readiness ------------------------------------------------------------------
+    @property
+    def is_ready(self) -> bool:
+        return self.state is RuntimeState.READY
+
+    @property
+    def setup_time(self) -> Optional[float]:
+        if self.booted_at is None or self.ready_at is None:
+            return None
+        return self.ready_at - self.booted_at
+
+    # -- code residency ----------------------------------------------------------------
+    def has_app(self, app_id: str) -> bool:
+        """Is this app's code loaded (warm) in the runtime?"""
+        return app_id in self.loaded_apps
+
+    def mark_loaded(self, app_id: str) -> None:
+        """Record that this app's code is now resident."""
+        self.loaded_apps.add(app_id)
+
+    # -- offloading I/O ------------------------------------------------------------------
+    def offload_io_device(self) -> "StorageDevice":
+        """Where this runtime's offloading I/O lands (subclass decides)."""
+        raise NotImplementedError
+
+    def offload_io_overhead(self) -> float:
+        """I/O-time multiplier for offloading I/O on this runtime."""
+        return self.io_overhead
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.instance_id} {self.state.value}>"

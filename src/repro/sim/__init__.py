@@ -1,0 +1,66 @@
+"""Discrete-event simulation kernel underlying the Rattrap reproduction.
+
+Public surface:
+
+- :class:`Environment` — clock + event heap + run loop
+- :class:`Process` / :class:`Interrupt` — generator processes
+- :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf`
+- :class:`Resource`, :class:`PriorityResource`, :class:`Container`,
+  :class:`Store` — contention primitives
+- monitors (:class:`TimeSeries`, :class:`UtilizationTracker`, ...)
+- :class:`RandomStreams` — named seeded RNG streams
+"""
+
+from .core import Environment, StopSimulation
+from .debug import EventTracer, TraceEntry
+from .events import (
+    AllOf,
+    AnyOf,
+    ConditionEvent,
+    Event,
+    EventState,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from .monitor import Counter, RateTracker, Tally, TimeSeries, UtilizationTracker
+from .process import Process
+from .resources import (
+    Container,
+    PriorityRequest,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+    Store,
+)
+from .rng import RandomStreams
+
+__all__ = [
+    "Environment",
+    "StopSimulation",
+    "Event",
+    "EventState",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "ConditionEvent",
+    "Interrupt",
+    "SimulationError",
+    "Process",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "PriorityRequest",
+    "Release",
+    "Container",
+    "Store",
+    "TimeSeries",
+    "Counter",
+    "UtilizationTracker",
+    "RateTracker",
+    "Tally",
+    "RandomStreams",
+    "EventTracer",
+    "TraceEntry",
+]

@@ -1,0 +1,162 @@
+"""The simulation environment: clock, event heap, run loop.
+
+The :class:`Environment` is the single shared object threaded through
+every substrate in :mod:`repro` — the cloud server, network links,
+mobile devices and the Rattrap platform itself all schedule their work
+on one heap so that cross-component timings compose correctly.
+
+Time is a float in **seconds** throughout the code base.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .process import Process
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event heap runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to stop :meth:`Environment.run` from within a callback."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Example
+    -------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(3.0)
+    ...     return "done"
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> env.now
+    3.0
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0  # tie-breaker keeps FIFO order for simultaneous events
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """A bare, manually triggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a concurrently running process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event succeeding when every child succeeds."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event succeeding on the first child success."""
+        return AnyOf(self, events)
+
+    # -- scheduling (kernel internal) -------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Pop and process a single event."""
+        try:
+            when, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        if when < self._now:  # pragma: no cover - heap invariant
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._process()
+        # Surface failures nobody waited on: silent loss hides model bugs.
+        if event.exception is not None and not event.defused:
+            raise event.exception
+
+    # -- run loop -----------------------------------------------------------------
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Advance the simulation.
+
+        ``until`` may be ``None`` (run until the heap is empty), a time
+        (run up to that instant), or an :class:`Event` (run until it is
+        processed, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        horizon = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            stop_event.add_callback(self._stop_callback)
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon!r} lies in the past (now={self._now!r})"
+                )
+
+        try:
+            while True:
+                if self.peek() > horizon:
+                    self._now = min(horizon, self.peek())
+                    if horizon != float("inf"):
+                        self._now = horizon
+                    break
+                self.step()
+        except EmptySchedule:
+            if stop_event is not None and not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) finished without the event triggering"
+                ) from None
+        except StopSimulation as stop:
+            return stop.value
+        if stop_event is not None:
+            return stop_event.value if stop_event.triggered else None
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event.exception is not None:
+            event.defused = True
+            raise event.exception
+        raise StopSimulation(event._value)
+
+    # -- convenience -----------------------------------------------------------
+    def defer(self, fn: Callable[[], None], delay: float = 0.0) -> Event:
+        """Run a zero-argument callable at ``now + delay``."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev

@@ -1,0 +1,97 @@
+"""Simulation debugging aids: event tracing and heap inspection.
+
+Attaching an :class:`EventTracer` records every processed event with
+its timestamp and type, which is invaluable when a model deadlocks
+(nothing left on the heap but a process still waiting) or when timing
+looks wrong.  Tracing wraps ``Environment.step`` non-invasively and can
+be detached again.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .core import Environment
+from .events import Event
+
+__all__ = ["TraceEntry", "EventTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One processed event."""
+
+    time: float
+    event_type: str
+    ok: bool
+
+
+class EventTracer:
+    """Records processed events on one environment.
+
+    >>> env = Environment()
+    >>> tracer = EventTracer(env)
+    >>> _ = env.timeout(1.0)
+    >>> env.run()
+    >>> tracer.counts()["Timeout"]
+    1
+    """
+
+    def __init__(self, env: Environment, max_entries: int = 100_000):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.env = env
+        self.max_entries = max_entries
+        self.entries: List[TraceEntry] = []
+        self.dropped = 0
+        self._original_step = env.step
+        env.step = self._traced_step  # type: ignore[method-assign]
+        self._attached = True
+
+    def _traced_step(self) -> None:
+        if not self.env._queue:
+            self._original_step()  # let EmptySchedule surface normally
+            return
+        _, _, event = self.env._queue[0]
+        self._original_step()
+        entry = TraceEntry(
+            time=self.env.now,
+            event_type=type(event).__name__,
+            ok=event.exception is None,
+        )
+        if len(self.entries) < self.max_entries:
+            self.entries.append(entry)
+        else:
+            self.dropped += 1
+
+    def detach(self) -> None:
+        """Restore the un-traced step method."""
+        if self._attached:
+            self.env.step = self._original_step  # type: ignore[method-assign]
+            self._attached = False
+
+    # -- analysis ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def counts(self) -> Dict[str, int]:
+        """Processed-event totals by type."""
+        return dict(_Counter(e.event_type for e in self.entries))
+
+    def failures(self) -> List[TraceEntry]:
+        """Entries whose event carried an exception."""
+        return [e for e in self.entries if not e.ok]
+
+    def between(self, t0: float, t1: float) -> List[TraceEntry]:
+        """Entries processed in the half-open window [t0, t1)."""
+        return [e for e in self.entries if t0 <= e.time < t1]
+
+    def busiest_second(self) -> Optional[Tuple[int, int]]:
+        """(second, events) of the busiest one-second bucket."""
+        if not self.entries:
+            return None
+        buckets = _Counter(int(e.time) for e in self.entries)
+        second, count = buckets.most_common(1)[0]
+        return second, count

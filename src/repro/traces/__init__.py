@@ -1,0 +1,14 @@
+"""Trace-based simulation: LiveLab-style traces and replay."""
+
+from .livelab import AccessTrace, LiveLabConfig, TraceRecord, generate_livelab_trace
+from .replay import DEFAULT_SCENARIO_MIX, replay_trace, trace_to_plans
+
+__all__ = [
+    "TraceRecord",
+    "AccessTrace",
+    "LiveLabConfig",
+    "generate_livelab_trace",
+    "trace_to_plans",
+    "replay_trace",
+    "DEFAULT_SCENARIO_MIX",
+]

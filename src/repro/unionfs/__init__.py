@@ -1,0 +1,19 @@
+"""AUFS-style layered copy-on-write filesystem substrate."""
+
+from .accounting import StorageReport, dedup_savings, fleet_usage
+from .inode import FileNode, normalize_path, split_path
+from .layer import Layer, LayerError
+from .union import UnionError, UnionMount
+
+__all__ = [
+    "FileNode",
+    "normalize_path",
+    "split_path",
+    "Layer",
+    "LayerError",
+    "UnionMount",
+    "UnionError",
+    "StorageReport",
+    "fleet_usage",
+    "dedup_savings",
+]

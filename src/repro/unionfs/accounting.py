@@ -1,0 +1,88 @@
+"""Cross-mount storage accounting for the Shared Resource Layer.
+
+Answers the disk-economics questions behind Table I and §III-E:
+how much disk does a fleet of N runtimes occupy when each carries a
+full OS copy (VM model) versus when they share lower layers (Rattrap)?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from .layer import Layer
+from .union import UnionMount
+
+__all__ = ["StorageReport", "fleet_usage", "dedup_savings"]
+
+
+class StorageReport:
+    """Aggregate storage picture for a set of union mounts."""
+
+    def __init__(self, mounts: Iterable[UnionMount]):
+        self.mounts = list(mounts)
+
+    def unique_layers(self) -> List[Layer]:
+        """Layers counted once each, however many mounts stack them."""
+        seen: Set[int] = set()
+        out: List[Layer] = []
+        for mount in self.mounts:
+            for layer in mount.layers:
+                if id(layer) not in seen:
+                    seen.add(id(layer))
+                    out.append(layer)
+        return out
+
+    @property
+    def physical_bytes(self) -> int:
+        """Actual disk occupied: each layer stored exactly once."""
+        return sum(layer.total_bytes for layer in self.unique_layers())
+
+    @property
+    def logical_bytes(self) -> int:
+        """Sum of per-mount visible bytes (what `du` inside each sees)."""
+        return sum(m.visible_bytes() for m in self.mounts)
+
+    @property
+    def private_bytes(self) -> int:
+        """Sum of per-mount top-layer bytes."""
+        return sum(m.private_bytes() for m in self.mounts)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """logical / physical — >1 means sharing is paying off."""
+        phys = self.physical_bytes
+        return self.logical_bytes / phys if phys else float("inf")
+
+    def per_mount(self) -> Dict[str, Dict[str, int]]:
+        """Visible/private/shared byte split per mount."""
+        return {
+            m.name: {
+                "visible": m.visible_bytes(),
+                "private": m.private_bytes(),
+                "shared": m.shared_bytes(),
+            }
+            for m in self.mounts
+        }
+
+
+def fleet_usage(per_instance_bytes: int, instances: int, shared_bytes: int = 0) -> int:
+    """Disk usage of a fleet: shared base (once) + private tops (per instance)."""
+    if per_instance_bytes < 0 or instances < 0 or shared_bytes < 0:
+        raise ValueError("arguments must be non-negative")
+    return shared_bytes + per_instance_bytes * instances
+
+
+def dedup_savings(full_copy_bytes: int, shared_bytes: int, private_bytes: int, instances: int) -> float:
+    """Fraction of disk saved by layer sharing vs full per-instance copies.
+
+    The paper reports "at least 79 % disk usage" saved; with the Table I
+    numbers (1.1 GB vs shared /system + 7.1 MB tops) the savings grow
+    with fleet size.
+    """
+    if instances <= 0:
+        raise ValueError("instances must be positive")
+    duplicated = full_copy_bytes * instances
+    shared = fleet_usage(private_bytes, instances, shared_bytes)
+    if duplicated == 0:
+        return 0.0
+    return 1.0 - shared / duplicated

@@ -1,0 +1,76 @@
+"""File metadata for the layered filesystem model.
+
+Sizes are in bytes.  ``atime`` powers the §III-E redundancy analysis:
+the paper "check[s] the last access time of each part of Android OS"
+to find what offloading never touches.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["FileNode", "normalize_path", "split_path"]
+
+
+def normalize_path(path: str) -> str:
+    """Canonical absolute POSIX path (single slashes, no trailing slash)."""
+    if not path or not path.startswith("/"):
+        raise ValueError(f"path must be absolute, got {path!r}")
+    norm = posixpath.normpath(path)
+    if norm.startswith("//"):  # posixpath quirk for leading double slash
+        norm = norm[1:]
+    return norm
+
+
+def split_path(path: str):
+    """All ancestor directories of ``path`` (excluding '/' and itself)."""
+    path = normalize_path(path)
+    parts = path.strip("/").split("/")
+    ancestors = []
+    cur = ""
+    for part in parts[:-1]:
+        cur += "/" + part
+        ancestors.append(cur)
+    return ancestors
+
+
+@dataclass
+class FileNode:
+    """One file (or directory) in a layer.
+
+    ``category`` tags the file for OS-customization analysis — e.g.
+    ``"app"``, ``"shared_lib"``, ``"kernel_module"``, ``"firmware"``,
+    ``"framework"``, ``"offload_data"``.
+    """
+
+    path: str
+    size: int = 0
+    is_dir: bool = False
+    category: str = ""
+    atime: Optional[float] = None  # None = never accessed
+    mtime: float = 0.0
+
+    def __post_init__(self):
+        self.path = normalize_path(self.path)
+        if self.size < 0:
+            raise ValueError(f"negative size for {self.path}")
+        if self.is_dir and self.size != 0:
+            raise ValueError(f"directory {self.path} must have size 0")
+
+    def touch(self, now: float) -> None:
+        """Record an access (read) at simulated time ``now``."""
+        self.atime = now
+
+    def clone(self) -> "FileNode":
+        """Independent copy (used by copy-up)."""
+        return replace(self)
+
+    @property
+    def name(self) -> str:
+        return posixpath.basename(self.path)
+
+    @property
+    def parent(self) -> str:
+        return posixpath.dirname(self.path) or "/"

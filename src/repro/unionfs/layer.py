@@ -1,0 +1,126 @@
+"""A single filesystem layer: files plus whiteouts.
+
+Layers are the building block of the Shared Resource Layer (§IV-C):
+one read-only layer carries the common Android ``/system`` content for
+*every* Cloud Android Container, while each container adds a tiny
+writable top layer (≈7.1 MB in Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set
+
+from .inode import FileNode, normalize_path
+
+__all__ = ["Layer", "LayerError"]
+
+
+class LayerError(RuntimeError):
+    """Raised on invalid layer operations."""
+
+
+class Layer:
+    """An ordered set of files and whiteout markers.
+
+    A *whiteout* at path ``p`` hides any ``p`` provided by lower layers
+    — AUFS implements deletions in upper layers this way.
+    """
+
+    def __init__(self, name: str, read_only: bool = False):
+        self.name = name
+        self.read_only = read_only
+        self._files: Dict[str, FileNode] = {}
+        self._whiteouts: Set[str] = set()
+
+    # -- mutation --------------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise LayerError(f"layer {self.name!r} is read-only")
+
+    def add(self, node: FileNode) -> FileNode:
+        """Insert (or replace) a file; clears any whiteout at that path."""
+        self._check_writable()
+        self._files[node.path] = node
+        self._whiteouts.discard(node.path)
+        return node
+
+    def add_file(self, path: str, size: int, category: str = "", **kw) -> FileNode:
+        """Insert a regular file of ``size`` bytes."""
+        return self.add(FileNode(path=path, size=size, category=category, **kw))
+
+    def add_dir(self, path: str) -> FileNode:
+        """Insert a directory node."""
+        return self.add(FileNode(path=path, is_dir=True))
+
+    def remove(self, path: str) -> None:
+        """Delete a file from this layer (no whiteout)."""
+        self._check_writable()
+        path = normalize_path(path)
+        if path not in self._files:
+            raise LayerError(f"{path} not in layer {self.name!r}")
+        del self._files[path]
+
+    def whiteout(self, path: str) -> None:
+        """Hide ``path`` from lower layers (and drop a local copy if any)."""
+        self._check_writable()
+        path = normalize_path(path)
+        self._files.pop(path, None)
+        self._whiteouts.add(path)
+
+    def seal(self) -> "Layer":
+        """Make the layer immutable (shared layers are sealed)."""
+        self.read_only = True
+        return self
+
+    # -- queries ----------------------------------------------------------------
+    def get(self, path: str) -> Optional[FileNode]:
+        """The node at ``path`` in this layer, or None."""
+        return self._files.get(normalize_path(path))
+
+    def has(self, path: str) -> bool:
+        """Does this layer provide ``path``?"""
+        return normalize_path(path) in self._files
+
+    def hides(self, path: str) -> bool:
+        """Does this layer whiteout ``path``?"""
+        return normalize_path(path) in self._whiteouts
+
+    def files(self) -> Iterator[FileNode]:
+        """Iterate over this layer's files."""
+        return iter(self._files.values())
+
+    def paths(self) -> list:
+        """Sorted paths this layer provides."""
+        return sorted(self._files)
+
+    def whiteouts(self) -> list:
+        """Sorted whiteout paths."""
+        return sorted(self._whiteouts)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        """Storage this layer occupies (regular files only)."""
+        return sum(n.size for n in self._files.values() if not n.is_dir)
+
+    def files_under(self, prefix: str) -> Iterator[FileNode]:
+        """Files whose path lies under directory ``prefix``."""
+        prefix = normalize_path(prefix)
+        anchored = prefix if prefix.endswith("/") else prefix + "/"
+        for node in self._files.values():
+            if node.path == prefix or node.path.startswith(anchored):
+                yield node
+
+    def bytes_under(self, prefix: str) -> int:
+        """Total file bytes under a directory prefix."""
+        return sum(n.size for n in self.files_under(prefix) if not n.is_dir)
+
+    def by_category(self, category: str) -> list:
+        """Files tagged with one category."""
+        return [n for n in self._files.values() if n.category == category]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ro = "ro" if self.read_only else "rw"
+        return f"<Layer {self.name} [{ro}] files={len(self)} bytes={self.total_bytes}>"

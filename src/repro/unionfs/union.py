@@ -1,0 +1,172 @@
+"""Union mounts: AUFS-style stacking with copy-on-write semantics.
+
+A :class:`UnionMount` resolves reads through a stack of layers (top
+first), writes via copy-up into the single writable top layer, and
+deletes via whiteouts.  This is the mechanism Docker+AUFS use and that
+Rattrap's Shared Resource Layer builds on (§IV-C): "Containers often
+use layered file system to support system images and COW at the file
+system level".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set
+
+from .inode import FileNode, normalize_path
+from .layer import Layer
+
+__all__ = ["UnionMount", "UnionError"]
+
+
+class UnionError(RuntimeError):
+    """Raised on invalid union-mount operations."""
+
+
+class UnionMount:
+    """A stack of layers presented as one filesystem.
+
+    ``layers[0]`` is the *top* (writable) layer; later entries are
+    progressively lower read-only layers.
+    """
+
+    def __init__(self, name: str, layers: Iterable[Layer]):
+        self.name = name
+        self._layers: List[Layer] = list(layers)
+        if not self._layers:
+            raise UnionError("a union mount needs at least one layer")
+        if self._layers[0].read_only:
+            raise UnionError("the top layer must be writable")
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def top(self) -> Layer:
+        return self._layers[0]
+
+    @property
+    def lower(self) -> List[Layer]:
+        return self._layers[1:]
+
+    @property
+    def layers(self) -> List[Layer]:
+        return list(self._layers)
+
+    # -- resolution -----------------------------------------------------------------
+    def resolve(self, path: str) -> Optional[FileNode]:
+        """The visible file at ``path``, honouring whiteouts; None if absent."""
+        path = normalize_path(path)
+        for layer in self._layers:
+            node = layer.get(path)
+            if node is not None:
+                return node
+            if layer.hides(path):
+                return None
+        return None
+
+    def exists(self, path: str) -> bool:
+        """Is ``path`` visible through the mount?"""
+        return self.resolve(path) is not None
+
+    def provider(self, path: str) -> Optional[Layer]:
+        """Which layer supplies the visible copy of ``path``."""
+        path = normalize_path(path)
+        for layer in self._layers:
+            if layer.has(path):
+                return layer
+            if layer.hides(path):
+                return None
+        return None
+
+    def visible_paths(self) -> List[str]:
+        """Every path visible through the mount (merged view)."""
+        seen: Set[str] = set()
+        hidden: Set[str] = set()
+        out: List[str] = []
+        for layer in self._layers:
+            for node in layer.files():
+                if node.path not in seen and node.path not in hidden:
+                    seen.add(node.path)
+                    out.append(node.path)
+            hidden |= set(layer.whiteouts())
+        return sorted(out)
+
+    def iter_visible(self) -> Iterator[FileNode]:
+        """Iterate the merged view's file nodes."""
+        for path in self.visible_paths():
+            node = self.resolve(path)
+            assert node is not None
+            yield node
+
+    # -- file operations --------------------------------------------------------------
+    def read(self, path: str, now: Optional[float] = None) -> FileNode:
+        """Resolve and (optionally) touch a file; FileNotFoundError if absent."""
+        node = self.resolve(path)
+        if node is None:
+            raise FileNotFoundError(f"{path} not in mount {self.name!r}")
+        if now is not None:
+            node.touch(now)
+        return node
+
+    def write(self, path: str, size: int, category: str = "", now: float = 0.0) -> FileNode:
+        """Create or modify a file.
+
+        Modifying a lower-layer file performs *copy-up*: the node is
+        cloned into the top layer with the new size.  The lower copy is
+        untouched (other mounts sharing that layer keep seeing it).
+        """
+        path = normalize_path(path)
+        existing = self.resolve(path)
+        if existing is not None and existing.is_dir:
+            raise IsADirectoryError(path)
+        node = FileNode(
+            path=path,
+            size=size,
+            category=category or (existing.category if existing else ""),
+            mtime=now,
+        )
+        return self.top.add(node)
+
+    def delete(self, path: str) -> None:
+        """Remove ``path`` from the merged view.
+
+        In-top-only files are simply dropped; files provided by a lower
+        layer require a whiteout so the lower copy stays hidden.
+        """
+        path = normalize_path(path)
+        if self.resolve(path) is None:
+            raise FileNotFoundError(f"{path} not in mount {self.name!r}")
+        provided_below = any(
+            layer.has(path) for layer in self.lower
+        )
+        if self.top.has(path):
+            self.top.remove(path)
+        if provided_below:
+            self.top.whiteout(path)
+
+    # -- accounting -------------------------------------------------------------------
+    def visible_bytes(self) -> int:
+        """Total bytes of the merged view's regular files."""
+        return sum(n.size for n in self.iter_visible() if not n.is_dir)
+
+    def private_bytes(self) -> int:
+        """Bytes unique to this mount — its top layer only.
+
+        This is the "size of a single Cloud Android Container" figure:
+        7.1 MB once /system lives in the shared lower layer (Table I).
+        """
+        return self.top.total_bytes
+
+    def shared_bytes(self) -> int:
+        """Bytes served from read-only lower layers (amortized storage)."""
+        total = 0
+        for node in self.iter_visible():
+            if node.is_dir:
+                continue
+            if self.provider(node.path) is not self.top:
+                total += node.size
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<UnionMount {self.name} layers={[l.name for l in self._layers]} "
+            f"private={self.private_bytes()}B>"
+        )

@@ -1,0 +1,27 @@
+"""Calibrated benchmark workloads and request-stream generators."""
+
+from .base import WorkloadProfile, derive_profile
+from .generator import ArrivalPlan, generate_inflow, generate_mixed_inflow, poisson_inflow
+from .profiles import (
+    ALL_WORKLOADS,
+    CHESS_GAME,
+    LINPACK,
+    OCR,
+    VIRUS_SCAN,
+    get_profile,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "derive_profile",
+    "ArrivalPlan",
+    "generate_inflow",
+    "generate_mixed_inflow",
+    "poisson_inflow",
+    "OCR",
+    "CHESS_GAME",
+    "VIRUS_SCAN",
+    "LINPACK",
+    "ALL_WORKLOADS",
+    "get_profile",
+]

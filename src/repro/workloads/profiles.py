@@ -1,0 +1,122 @@
+"""Calibrated profiles of the four benchmark workloads (§III-A).
+
+Calibration anchors (all from the paper):
+
+- **Table II** (total migrated KB over 5 devices x 20 requests):
+  per-request payloads and code sizes are solved from the VM and
+  Rattrap columns, e.g. Linpack: VM 705 = 5 x code + 100 x payload,
+  Rattrap 169 = code + 100 x payload → code = 134 KB, payload = 0.35 KB.
+- **Fig. 9** compute speedups: VM CPU tax ~3 %, VM I/O tax 1.6x, and
+  VirusScan's 50-op random-I/O pattern place Rattrap's pure-compute
+  advantage at 1.05x (Linpack) to ~1.4x (VirusScan).
+- **Fig. 1/Fig. 11** offloading speedups: local execution times give
+  steady-state speedups in the 3–6x band with first-request failures
+  on the VM platform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import WorkloadProfile
+
+__all__ = ["OCR", "CHESS_GAME", "VIRUS_SCAN", "LINPACK", "ALL_WORKLOADS", "get_profile"]
+
+
+OCR = WorkloadProfile(
+    name="ocr",
+    category="image-tool",
+    description=(
+        "Optical character recognition on the Google Tesseract library; "
+        "computation-intensive with per-request image file transfer (JNI/C++)."
+    ),
+    code_size_kb=1400.0,
+    file_size_kb=270.0,
+    param_size_kb=10.0,
+    control_size_kb=2.0,
+    result_size_kb=1.52,
+    cloud_cpu_s=4.0,
+    exec_io_ops=15,
+    exec_io_bytes=8192,
+    code_load_s=0.50,  # JNI shared library load + dexopt
+    framework_overhead_s=0.10,
+    local_time_s=28.0,
+)
+
+CHESS_GAME = WorkloadProfile(
+    name="chess",
+    category="game",
+    description=(
+        "Android port of the CuckooChess engine; interactive workload with "
+        "intensive network communication and almost pure computation."
+    ),
+    code_size_kb=2130.0,
+    file_size_kb=0.0,
+    param_size_kb=24.0,
+    control_size_kb=2.6,
+    result_size_kb=0.34,
+    # Calibrated so warm offloading speedups straddle the 3x threshold
+    # the Fig. 11 analysis slices at: VM just below, containers just
+    # above.  The fixed framework overhead (reflection + serialization
+    # per move) bounds the achievable speedup for small searches.
+    cloud_cpu_s=1.0,
+    exec_io_ops=2,
+    exec_io_bytes=4096,
+    code_load_s=0.30,
+    framework_overhead_s=0.25,
+    local_time_s=4.0,
+)
+
+VIRUS_SCAN = WorkloadProfile(
+    name="virusscan",
+    category="anti-virus",
+    description=(
+        "Malware scan against a virus signature database; spawns more I/O "
+        "requests than the other benchmarks."
+    ),
+    code_size_kb=1730.0,
+    file_size_kb=890.0,
+    param_size_kb=10.0,
+    control_size_kb=2.4,
+    result_size_kb=17.4,
+    cloud_cpu_s=2.2,
+    exec_io_ops=50,
+    exec_io_bytes=8192,
+    code_load_s=0.45,
+    framework_overhead_s=0.10,
+    local_time_s=13.2,
+)
+
+LINPACK = WorkloadProfile(
+    name="linpack",
+    category="math",
+    description=(
+        "Dense linear-algebra benchmark in plain Android Java; pure "
+        "computation with negligible data transfer."
+    ),
+    code_size_kb=134.0,
+    file_size_kb=0.0,
+    param_size_kb=0.25,
+    control_size_kb=0.10,
+    result_size_kb=0.11,
+    cloud_cpu_s=2.0,
+    exec_io_ops=1,
+    exec_io_bytes=4096,
+    code_load_s=0.10,
+    framework_overhead_s=0.05,
+    local_time_s=12.0,
+)
+
+ALL_WORKLOADS: List[WorkloadProfile] = [OCR, CHESS_GAME, VIRUS_SCAN, LINPACK]
+
+_BY_NAME: Dict[str, WorkloadProfile] = {w.name: w for w in ALL_WORKLOADS}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a benchmark profile by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,139 @@
+"""Tests for result metrics, table rendering and time-series helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    failure_rate,
+    format_cell,
+    fraction_above,
+    normalize_to,
+    per_request_phase_table,
+    phase_means,
+    render_table,
+    server_load_series,
+    sparkline,
+    speedup_cdf,
+    speedups,
+)
+from repro.hostos import CloudServer
+from repro.offload import OffloadRequest, Phase, PhaseTimeline, RequestResult
+from repro.sim import Environment
+from repro.workloads import CHESS_GAME
+
+
+def _result(rid, device, response_s, phases=None, blocked=False, seq=0):
+    tl = PhaseTimeline()
+    for phase, dur in (phases or {Phase.EXECUTION: response_s}).items():
+        tl.add(phase, dur)
+    return RequestResult(
+        request=OffloadRequest(rid, device, "chess", CHESS_GAME, seq_on_device=seq),
+        timeline=tl,
+        started_at=0.0,
+        finished_at=response_s,
+        blocked=blocked,
+    )
+
+
+# ----------------------------------------------------------------- metrics
+def test_phase_means_averages_served_only():
+    results = [
+        _result(0, "d0", 2.0, {Phase.EXECUTION: 1.5, Phase.TRANSFER: 0.5}),
+        _result(1, "d0", 4.0, {Phase.EXECUTION: 3.0, Phase.TRANSFER: 1.0}),
+        _result(2, "d0", 9.0, blocked=True),
+    ]
+    summary = phase_means(results)
+    assert summary.execution == pytest.approx(2.25)
+    assert summary.transfer == pytest.approx(0.75)
+    assert summary.total == pytest.approx(3.0)
+    assert set(summary.as_dict()) == {p.value for p in Phase}
+
+
+def test_metrics_reject_empty():
+    with pytest.raises(ValueError):
+        phase_means([])
+    with pytest.raises(ValueError):
+        speedups([_result(0, "d", 1.0, blocked=True)])
+
+
+def test_speedups_and_failures():
+    results = [_result(0, "d", 1.0), _result(1, "d", 8.0)]  # local = 4 s
+    s = speedups(results)
+    assert list(s) == [4.0, 0.5]
+    assert failure_rate(results) == 0.5
+    assert fraction_above(results, 3.0) == 0.5
+    assert fraction_above(results, 10.0) == 0.0
+
+
+def test_speedup_cdf_monotone():
+    results = [_result(i, "d", 1.0 + i) for i in range(10)]
+    values, probs = speedup_cdf(results)
+    assert np.all(np.diff(values) <= 1e-12) or np.all(np.diff(values) >= -1e-12)
+    assert probs[0] == pytest.approx(0.1)
+    assert probs[-1] == pytest.approx(1.0)
+
+
+def test_per_request_phase_table_orders_by_seq():
+    results = [
+        _result(1, "d0", 2.0, seq=1),
+        _result(0, "d0", 3.0, seq=0),
+        _result(2, "d1", 4.0, seq=0),
+    ]
+    rows = per_request_phase_table(results, "d0")
+    assert [r["request"] for r in rows] == [0, 1]
+    assert "speedup" in rows[0]
+
+
+def test_normalize_to():
+    normalized = normalize_to({"a": 2.0, "b": 4.0}, "a")
+    assert normalized == {"a": 1.0, "b": 2.0}
+    with pytest.raises(ValueError):
+        normalize_to({"a": 0.0}, "a")
+
+
+# ------------------------------------------------------------------- tables
+def test_render_table_alignment_and_title():
+    text = render_table(["name", "value"], [["x", 1.5], ["longer", 20]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2] and "value" in lines[2]
+    assert all(len(l) == len(lines[2]) for l in lines[3:])
+
+
+def test_render_table_validation():
+    with pytest.raises(ValueError):
+        render_table([], [])
+    with pytest.raises(ValueError):
+        render_table(["a"], [["x", "y"]])
+
+
+def test_format_cell():
+    assert format_cell(True) == "yes"
+    assert format_cell(1.23456) == "1.23"
+    assert format_cell(1234.5) == "1,234"
+    assert format_cell(0.0) == "0"
+    assert format_cell("txt") == "txt"
+    assert format_cell(7) == "7"
+
+
+# -------------------------------------------------------------- time-series
+def test_server_load_series_shapes():
+    env = Environment()
+    server = CloudServer(env)
+    done = server.cpu.execute(5.0)
+    env.run(until=done)
+    series = server_load_series(server, 0.0, 10.0, 1.0)
+    assert len(series["time"]) == len(series["cpu_percent"]) == 10
+    assert series["cpu_percent"][0] > 0
+    assert series["cpu_percent"][-1] == 0
+    with pytest.raises(ValueError):
+        server_load_series(server, 5.0, 5.0)
+
+
+def test_sparkline_rendering():
+    line = sparkline(np.array([0.0, 0.5, 1.0]), vmax=1.0)
+    assert len(line) == 3
+    assert line[0] == " " and line[-1] == "█"
+    assert sparkline(np.array([])) == ""
+    assert sparkline(np.zeros(4)) == "    "

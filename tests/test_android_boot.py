@@ -1,0 +1,154 @@
+"""Tests for boot sequences and the service registry.
+
+Table I calibration: VM 28.72 s, CAC(non-opt) 6.80 s, CAC(opt) 1.75 s.
+"""
+
+import pytest
+
+from repro.android import (
+    FULL_INIT_SERVICES,
+    OFFLOAD_INIT_SERVICES,
+    BootSequence,
+    BootStage,
+    ServiceRegistry,
+    container_boot_sequence,
+    device_boot_sequence,
+    init_userspace_time,
+    vm_boot_sequence,
+)
+from repro.hostos import CloudServer
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------------- services
+def test_init_userspace_times_calibrated():
+    assert init_userspace_time(FULL_INIT_SERVICES) == pytest.approx(5.90)
+    assert init_userspace_time(OFFLOAD_INIT_SERVICES) == pytest.approx(1.20)
+
+
+def test_init_userspace_unknown_service():
+    with pytest.raises(KeyError):
+        init_userspace_time(frozenset({"ghost_service"}))
+
+
+def test_service_registry_running_and_stop():
+    reg = ServiceRegistry(OFFLOAD_INIT_SERVICES)
+    assert reg.is_running("netd")
+    assert not reg.is_running("surfaceflinger")
+    reg.stop("netd")
+    assert not reg.is_running("netd")
+    with pytest.raises(KeyError):
+        reg.stop("netd")
+
+
+def test_interface_calls_real_service():
+    reg = ServiceRegistry(FULL_INIT_SERVICES)
+    assert reg.call_interface("android.view.WindowManager") == "ok"
+
+
+def test_interface_calls_faked_when_stripped():
+    # Customized OS: no surfaceflinger, but WindowManager must not crash.
+    reg = ServiceRegistry(OFFLOAD_INIT_SERVICES)
+    assert reg.call_interface("android.view.WindowManager") == "faked"
+    assert reg.call_interface("android.hardware.Camera") == "faked"
+    assert reg.fake_calls["android.view.WindowManager"] == 1
+
+
+def test_interface_crashes_without_fake():
+    reg = ServiceRegistry(OFFLOAD_INIT_SERVICES, faked=frozenset())
+    with pytest.raises(RuntimeError, match="crash"):
+        reg.call_interface("android.telephony.TelephonyManager")
+
+
+# -------------------------------------------------------------- boot stages
+def test_boot_stage_validation():
+    with pytest.raises(ValueError):
+        BootStage("x", -1.0)
+    with pytest.raises(ValueError):
+        BootStage("x", 1.0, cpu_fraction=1.5)
+    with pytest.raises(ValueError):
+        BootSequence("empty", [])
+
+
+def test_vm_boot_idle_duration_is_28_72():
+    assert vm_boot_sequence().idle_duration_s == pytest.approx(28.72, abs=0.01)
+
+
+def test_cac_nonoptimized_idle_duration_is_6_80():
+    assert container_boot_sequence(optimized=False).idle_duration_s == pytest.approx(
+        6.80, abs=0.01
+    )
+
+
+def test_cac_optimized_idle_duration_is_1_75():
+    assert container_boot_sequence(optimized=True).idle_duration_s == pytest.approx(
+        1.75, abs=0.01
+    )
+
+
+def test_boot_speedups_match_table1():
+    vm = vm_boot_sequence().idle_duration_s
+    cac = container_boot_sequence(optimized=False).idle_duration_s
+    cac_opt = container_boot_sequence(optimized=True).idle_duration_s
+    assert vm / cac == pytest.approx(4.22, abs=0.01)
+    assert vm / cac_opt == pytest.approx(16.41, abs=0.02)
+
+
+def test_boot_runs_on_idle_server_matches_idle_duration():
+    env = Environment()
+    server = CloudServer(env)
+    seq = vm_boot_sequence()
+    p = env.process(seq.run(server))
+    timeline = env.run(until=p)
+    assert env.now == pytest.approx(seq.idle_duration_s, rel=0.02)
+    assert [name for name, _ in timeline] == [s.name for s in seq.stages]
+    assert sum(t for _, t in timeline) == pytest.approx(env.now)
+
+
+def test_container_boot_on_idle_server():
+    env = Environment()
+    server = CloudServer(env)
+    seq = container_boot_sequence(optimized=True)
+    env.run(until=env.process(seq.run(server)))
+    assert env.now == pytest.approx(1.75, rel=0.05)
+
+
+def test_concurrent_vm_boots_contend_on_disk():
+    # Enough VMs booting together saturate the single HDD channel: the
+    # slowest boots take longer than the idle 28.72 s.
+    env = Environment()
+    server = CloudServer(env)
+    finish = {}
+
+    def boot_one(env, i):
+        yield env.process(vm_boot_sequence().run(server))
+        finish[i] = env.now
+
+    for i in range(20):
+        env.process(boot_one(env, i))
+    env.run()
+    assert max(finish.values()) > 28.72
+    assert min(finish.values()) >= 28.72 - 1e-9
+
+
+def test_boot_generates_cpu_load():
+    env = Environment()
+    server = CloudServer(env)
+    env.run(until=env.process(vm_boot_sequence().run(server)))
+    # Mean CPU busy during boot must be visible (boot burns CPU).
+    mean = server.cpu.utilization.mean_percent(0.0, env.now)
+    assert mean > 0.5
+
+
+def test_boot_generates_disk_reads():
+    env = Environment()
+    server = CloudServer(env)
+    env.run(until=env.process(vm_boot_sequence().run(server)))
+    assert server.disk.tracker.reads.total >= 90 * 1024 * 1024
+
+
+def test_device_boot_slower_than_optimized_container():
+    assert (
+        device_boot_sequence().idle_duration_s
+        > container_boot_sequence(optimized=True).idle_duration_s * 4
+    )

@@ -1,0 +1,153 @@
+"""Tests for the Android image model, profiler and OS customization.
+
+The headline assertions check that the synthetic image reproduces the
+§III-E measurements *exactly by construction*.
+"""
+
+import pytest
+
+from repro.android import (
+    ANDROID_44_CATEGORIES,
+    AccessProfiler,
+    CategorySpec,
+    build_android_image,
+    customize_os,
+    redundancy_report,
+)
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_android_image()
+
+
+def test_total_size_is_1_1_gb(image):
+    assert image.total_bytes == pytest.approx(1126.4 * MB, abs=1)
+
+
+def test_system_folder_is_985_mb(image):
+    assert image.system_bytes == pytest.approx(985 * MB, abs=1)
+    assert image.system_bytes / image.total_bytes == pytest.approx(0.874, abs=0.001)
+
+
+def test_redundant_category_counts_match_paper(image):
+    # §IV-B3: 20 built-in apps, 197 .so, 4372 .ko, 396 .bin.
+    assert image.category_count("builtin_app") == 20
+    assert image.category_count("shared_lib_unused") == 197
+    assert image.category_count("kernel_module") == 4372
+    assert image.category_count("firmware") == 396
+
+
+def test_category_bytes_sum_exactly(image):
+    for cat in ANDROID_44_CATEGORIES:
+        assert image.category_bytes(cat.name) == int(cat.total_mb * MB)
+
+
+def test_accessed_fraction_is_31_6_percent(image):
+    # "only 31.6% of the entire Android OS is actually needed" — the
+    # paper's measure counts everything with an atime (boot + offload).
+    accessed = image.total_bytes - image.redundant_bytes
+    assert accessed / image.total_bytes == pytest.approx(0.316, abs=0.002)
+
+
+def test_container_image_sizes_match_table1(image):
+    # Non-optimized CAC rootfs: full OS minus kernel/ramdisk = 1.02 GB.
+    assert image.container_image_bytes(optimized=False) == pytest.approx(
+        1045 * MB, abs=1
+    )
+    # Optimized (customized) OS: needed categories only, 254 + 20 = 274 MB.
+    assert image.container_image_bytes(optimized=True) == pytest.approx(274 * MB, abs=1)
+
+
+def test_category_spec_validation():
+    with pytest.raises(ValueError):
+        CategorySpec("x", "/x", "", 0, 1.0)
+    with pytest.raises(ValueError):
+        CategorySpec("x", "/x", "", 1, 0.0)
+
+
+def test_file_sizes_spread_sums_exactly(image):
+    nodes = image.files_in_category("kernel_module")
+    assert sum(n.size for n in nodes) == int(140.0 * MB)
+    sizes = {n.size for n in nodes}
+    assert len(sizes) <= 2  # near-uniform split
+
+
+# ------------------------------------------------------------------ profiler
+def test_profiler_reproduces_section_3e():
+    img = build_android_image()
+    prof = AccessProfiler(img)
+    prof.simulate_boot()
+    prof.simulate_offloading()
+    report = redundancy_report(img)
+    # 771 MB out of 1.1 GB never accessed = 68.4 %.
+    assert report.never_accessed_bytes == pytest.approx(771 * MB, abs=1)
+    assert report.never_accessed_fraction == pytest.approx(0.684, abs=0.001)
+    assert report.system_fraction == pytest.approx(0.874, abs=0.001)
+    assert report.redundant_counts["builtin_app"] == 20
+    assert report.redundant_counts["shared_lib_unused"] == 197
+    assert report.redundant_counts["kernel_module"] == 4372
+    assert report.redundant_counts["firmware"] == 396
+
+
+def test_profiler_boot_only_leaves_offload_files_untouched():
+    img = build_android_image()
+    AccessProfiler(img).simulate_boot()
+    report = redundancy_report(img)
+    # Framework is needed by offloading but not read during boot.
+    framework = img.files_in_category("framework")
+    assert all(n.atime is None for n in framework)
+    assert report.accessed_bytes < img.needed_bytes
+
+
+def test_unprofiled_image_is_fully_never_accessed():
+    img = build_android_image()
+    report = redundancy_report(img)
+    assert report.never_accessed_bytes == report.total_bytes
+    assert report.accessed_bytes == 0
+
+
+def test_report_rows_render():
+    img = build_android_image()
+    prof = AccessProfiler(img)
+    prof.simulate_boot()
+    prof.simulate_offloading()
+    rows = dict(redundancy_report(img).rows())
+    assert rows["never accessed (%)"] == 68.4
+    assert rows["/system share of OS (%)"] == 87.4
+    assert rows["redundant .ko kernel modules"] == 4372
+
+
+# ------------------------------------------------------------- customization
+def test_customized_os_keeps_only_needed(image):
+    custom = customize_os(image)
+    assert custom.size_bytes == image.container_image_bytes(optimized=True)
+    assert custom.report.kept_fraction == pytest.approx(254 / 1126.4 + 20 / 1126.4, abs=0.01)
+    # Everything kept is offload-needed.
+    for node in custom.base_layer.files():
+        assert image.categories[node.category].needed_for_offload
+
+
+def test_customized_os_strips_the_redundancies(image):
+    custom = customize_os(image)
+    by_cat = custom.report.stripped_by_category
+    assert by_cat["builtin_app"] == 20
+    assert by_cat["shared_lib_unused"] == 197
+    assert by_cat["kernel_module"] == 4372
+    assert by_cat["firmware"] == 396
+    assert custom.report.stripped_bytes + custom.report.kept_bytes == image.total_bytes
+
+
+def test_customized_layer_is_sealed(image):
+    custom = customize_os(image)
+    assert custom.base_layer.read_only
+
+
+def test_customized_os_clones_are_independent(image):
+    custom = customize_os(image)
+    node = next(iter(custom.base_layer.files()))
+    node.touch(1.0)
+    original = image.layer.get(node.path)
+    assert original.atime is None

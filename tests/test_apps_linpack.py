@@ -1,0 +1,114 @@
+"""Tests for the Linpack kernel (LU with partial pivoting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import linpack_benchmark, linpack_solve, lu_factor, lu_solve
+
+
+def test_lu_reconstructs_matrix():
+    rng = np.random.default_rng(0)
+    a = rng.uniform(-1, 1, size=(8, 8))
+    lu, piv = lu_factor(a)
+    # Rebuild P A = L U.
+    n = 8
+    lower = np.tril(lu, -1) + np.eye(n)
+    upper = np.triu(lu)
+    pa = a.copy()
+    for k in range(n - 1):
+        p = piv[k]
+        if p != k:
+            pa[[k, p], :] = pa[[p, k], :]
+    assert np.allclose(lower @ upper, pa, atol=1e-10)
+
+
+def test_solve_matches_numpy():
+    rng = np.random.default_rng(1)
+    a = rng.uniform(-1, 1, size=(20, 20))
+    b = rng.uniform(-1, 1, size=20)
+    assert np.allclose(linpack_solve(a, b), np.linalg.solve(a, b), atol=1e-8)
+
+
+def test_solve_identity():
+    b = np.arange(5.0)
+    assert np.allclose(linpack_solve(np.eye(5), b), b)
+
+
+def test_nonsquare_rejected():
+    with pytest.raises(ValueError):
+        lu_factor(np.ones((3, 4)))
+
+
+def test_singular_rejected():
+    with pytest.raises(np.linalg.LinAlgError):
+        lu_factor(np.zeros((3, 3)))
+    # Singularity surfacing in the last pivot.
+    a = np.array([[1.0, 0.0], [2.0, 0.0]])
+    with pytest.raises(np.linalg.LinAlgError):
+        lu_factor(a)
+
+
+def test_wrong_rhs_length_rejected():
+    lu, piv = lu_factor(np.eye(3))
+    with pytest.raises(ValueError):
+        lu_solve(lu, piv, np.ones(4))
+
+
+def test_pivoting_handles_zero_leading_entry():
+    a = np.array([[0.0, 1.0], [1.0, 0.0]])
+    b = np.array([2.0, 3.0])
+    assert np.allclose(linpack_solve(a, b), np.array([3.0, 2.0]))
+
+
+def test_input_matrix_not_mutated():
+    a = np.eye(4)
+    snapshot = a.copy()
+    lu_factor(a)
+    assert np.array_equal(a, snapshot)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 25), st.integers(0, 10_000))
+def test_property_solution_residual_small(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, size=(n, n)) + n * np.eye(n)  # well conditioned
+    x_true = rng.uniform(-1, 1, size=n)
+    b = a @ x_true
+    x = linpack_solve(a, b)
+    assert np.allclose(x, x_true, atol=1e-7)
+
+
+def test_benchmark_reports_sane_metrics():
+    result = linpack_benchmark(n=120, seed=3)
+    assert result.n == 120
+    assert result.elapsed_s > 0
+    assert result.mflops > 0
+    assert result.passed, f"normalized residual too large: {result.normalized_residual}"
+
+
+def test_benchmark_validation():
+    with pytest.raises(ValueError):
+        linpack_benchmark(n=1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 40), st.integers(1, 16), st.integers(0, 1000))
+def test_property_blocked_matches_unblocked(n, block, seed):
+    from repro.apps import lu_factor_blocked
+
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, size=(n, n)) + n * np.eye(n)
+    lu1, p1 = lu_factor(a)
+    lu2, p2 = lu_factor_blocked(a, block=block)
+    assert np.allclose(lu1, lu2, atol=1e-10)
+    assert np.array_equal(p1, p2)
+
+
+def test_blocked_solve_end_to_end():
+    rng = np.random.default_rng(9)
+    a = rng.uniform(-1, 1, size=(150, 150))
+    b = rng.uniform(-1, 1, size=150)
+    x = linpack_solve(a, b, block=32)
+    assert np.allclose(a @ x, b, atol=1e-8)

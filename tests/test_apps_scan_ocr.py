@@ -1,0 +1,326 @@
+"""Tests for the virus scanner (Aho-Corasick) and the OCR pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    AhoCorasick,
+    OcrEngine,
+    Signature,
+    SignatureDatabase,
+    VirusScanner,
+    otsu_threshold,
+    render_text,
+    segment_columns,
+)
+
+
+# ------------------------------------------------------------ Aho-Corasick
+def test_ac_finds_all_overlapping_matches():
+    ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+    hits = ac.search(b"ushers")
+    found = {(end, ac.patterns[idx]) for end, idx in hits}
+    assert found == {(4, b"she"), (4, b"he"), (6, b"hers")}
+
+
+def test_ac_no_match():
+    ac = AhoCorasick([b"xyz"])
+    assert ac.search(b"abcabcabc") == []
+
+
+def test_ac_match_at_boundaries():
+    ac = AhoCorasick([b"ab"])
+    hits = ac.search(b"abzzab")
+    assert [end for end, _ in hits] == [2, 6]
+
+
+def test_ac_repeated_pattern_instances():
+    ac = AhoCorasick([b"aa"])
+    hits = ac.search(b"aaaa")
+    assert [end for end, _ in hits] == [2, 3, 4]
+
+
+def test_ac_validation():
+    with pytest.raises(ValueError):
+        AhoCorasick([])
+    with pytest.raises(ValueError):
+        AhoCorasick([b""])
+
+
+def test_ac_binary_patterns():
+    ac = AhoCorasick([bytes([0, 255, 0]), bytes([1, 2, 3])])
+    data = bytes([9, 0, 255, 0, 1, 2, 3])
+    assert len(ac.search(data)) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=8, unique=True),
+    st.binary(max_size=200),
+)
+def test_ac_matches_naive_search(patterns, text):
+    ac = AhoCorasick(patterns)
+    got = sorted(ac.search(text))
+    expected = sorted(
+        (i + len(p), idx)
+        for idx, p in enumerate(patterns)
+        for i in range(len(text) - len(p) + 1)
+        if text[i : i + len(p)] == p
+    )
+    assert got == expected
+
+
+# ----------------------------------------------------------------- scanner
+def test_signature_validation():
+    with pytest.raises(ValueError):
+        Signature(name="x", pattern=b"")
+
+
+def test_database_generation_deterministic():
+    a = SignatureDatabase.generate(count=50, seed=9)
+    b = SignatureDatabase.generate(count=50, seed=9)
+    assert [s.pattern for s in a.signatures] == [s.pattern for s in b.signatures]
+    assert len(a) == 50
+
+
+def test_database_validation():
+    with pytest.raises(ValueError):
+        SignatureDatabase([])
+    with pytest.raises(ValueError):
+        SignatureDatabase.generate(count=0)
+    sig = Signature("dup", b"abc")
+    with pytest.raises(ValueError):
+        SignatureDatabase([sig, Signature("dup", b"def")])
+
+
+def test_scanner_detects_implanted_signature():
+    db = SignatureDatabase.generate(count=100, seed=1)
+    scanner = VirusScanner(db)
+    rng = np.random.default_rng(2)
+    clean = bytes(rng.integers(0, 256, size=50_000, dtype=np.uint8))
+    report = scanner.scan("clean.bin", clean)
+    infected = scanner.implant(clean, signature_index=7, offset=12_345)
+    report2 = scanner.scan("infected.bin", infected)
+    assert report2.infected
+    assert ("SIG-00007" in {name for name, _ in report2.detections})
+    # Clean data may rarely contain a random 8-byte signature; the
+    # implanted one must add at least one detection.
+    assert len(report2.detections) >= len(report.detections) + 1
+
+
+def test_scanner_counters_accumulate():
+    db = SignatureDatabase.generate(count=10, seed=3)
+    scanner = VirusScanner(db)
+    scanner.scan("a", b"\x00" * 1000)
+    scanner.scan("b", b"\x00" * 500)
+    assert scanner.total_scanned == 1500
+
+
+def test_scanner_implant_bounds():
+    db = SignatureDatabase.generate(count=5, seed=0)
+    scanner = VirusScanner(db)
+    with pytest.raises(ValueError):
+        scanner.implant(b"tiny", 0, 0)
+
+
+# --------------------------------------------------------------------- OCR
+def test_render_text_shapes_and_values():
+    img = render_text("AB", scale=2)
+    assert img.ndim == 2
+    assert set(np.unique(img)) <= {0.0, 1.0}
+    with pytest.raises(ValueError):
+        render_text("é")
+    with pytest.raises(ValueError):
+        render_text("A", scale=0)
+
+
+def test_otsu_separates_bimodal():
+    img = np.concatenate([np.full(500, 0.1), np.full(500, 0.9)])
+    t = otsu_threshold(img.reshape(20, 50))
+    assert 0.2 < t < 0.8
+
+
+def test_otsu_validation():
+    with pytest.raises(ValueError):
+        otsu_threshold(np.empty((0,)))
+
+
+def test_segment_columns_counts_glyphs():
+    img = render_text("ABC", scale=2)
+    binary = (img > 0.5).astype(float)
+    assert len(segment_columns(binary)) == 3
+    with pytest.raises(ValueError):
+        segment_columns(np.zeros(5))
+
+
+def test_ocr_clean_roundtrip():
+    eng = OcrEngine()
+    for text in ("HELLO", "IPDPS 2017", "RATTRAP", "0123456789"):
+        img = render_text(text, scale=3)
+        assert eng.recognize(img).text == text
+
+
+def test_ocr_scale_invariance():
+    eng = OcrEngine()
+    for scale in (1, 2, 4, 6):
+        img = render_text("SCALE", scale=scale)
+        assert eng.recognize(img).text == "SCALE"
+
+
+def test_ocr_noise_tolerance():
+    eng = OcrEngine()
+    img = render_text("NOISY TEXT", scale=4, noise_sigma=0.15, seed=5)
+    res = eng.recognize(img)
+    assert res.text == "NOISY TEXT"
+    assert res.mean_confidence > 0.7
+
+
+def test_ocr_degrades_gracefully_under_heavy_noise():
+    eng = OcrEngine()
+    img = render_text("ABC", scale=3, noise_sigma=0.45, seed=1)
+    res = eng.recognize(img)  # must not crash
+    assert isinstance(res.text, str)
+
+
+def test_ocr_empty_image():
+    eng = OcrEngine()
+    res = eng.recognize(np.zeros((20, 50)))
+    assert res.text == ""
+    assert res.mean_confidence == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.text(alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789", min_size=1,
+               max_size=8))
+def test_ocr_property_clean_recognition(text):
+    eng = OcrEngine()
+    assert eng.recognize(render_text(text, scale=3)).text == text
+
+
+# ------------------------------------------------------------ streaming scan
+def test_stream_matcher_finds_boundary_straddling_matches():
+    from repro.apps import StreamMatcher
+
+    ac = AhoCorasick([b"SPLIT"])
+    matcher = ac.matcher()
+    hits = matcher.feed(b"xxSPL")
+    assert hits == []
+    hits = matcher.feed(b"ITyy")
+    assert hits == [(7, 0)]  # absolute offset across the boundary
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=5), min_size=1, max_size=5, unique=True),
+    st.binary(min_size=0, max_size=300),
+    st.integers(1, 64),
+)
+def test_stream_scan_equals_whole_scan(patterns, data, chunk_size):
+    ac = AhoCorasick(patterns)
+    whole = sorted(ac.search(data))
+    matcher = ac.matcher()
+    chunked = []
+    for i in range(0, len(data), chunk_size):
+        chunked.extend(matcher.feed(data[i : i + chunk_size]))
+    assert sorted(chunked) == whole
+
+
+def test_scanner_scan_stream_detects_across_chunks():
+    db = SignatureDatabase.generate(count=50, seed=4)
+    scanner = VirusScanner(db)
+    rng = np.random.default_rng(5)
+    data = bytes(rng.integers(0, 256, size=64 * 1024, dtype=np.uint8))
+    infected = scanner.implant(data, signature_index=3, offset=32_760)
+    # Chunk boundary at 32 768 slices straight through the signature.
+    chunks = [infected[i : i + 32_768] for i in range(0, len(infected), 32_768)]
+    report = scanner.scan_stream("stream.bin", chunks)
+    assert "SIG-00003" in {name for name, _ in report.detections}
+    assert report.scanned_bytes == len(infected)
+
+
+def test_scan_stream_matches_scan_exactly():
+    db = SignatureDatabase.generate(count=30, seed=6)
+    a, b = VirusScanner(db), VirusScanner(db)
+    rng = np.random.default_rng(7)
+    data = bytes(rng.integers(0, 256, size=20_000, dtype=np.uint8))
+    data = a.implant(data, 1, 5_000)
+    whole = a.scan("x", data)
+    chunked = b.scan_stream("x", [data[i : i + 777] for i in range(0, len(data), 777)])
+    assert sorted(whole.detections) == sorted(chunked.detections)
+
+
+# -------------------------------------------------------------- multi-line
+def test_render_document_and_segment_rows():
+    from repro.apps import render_document, segment_rows
+
+    page = render_document(["AB", "CD", "EF"], scale=2)
+    binary = (page > 0.5).astype(float)
+    assert len(segment_rows(binary)) == 3
+    with pytest.raises(ValueError):
+        render_document([])
+    with pytest.raises(ValueError):
+        segment_rows(np.zeros(5))
+
+
+def test_recognize_document_multiline():
+    from repro.apps import render_document
+
+    eng = OcrEngine()
+    lines = ["HELLO WORLD", "RATTRAP IPDPS", "2017"]
+    page = render_document(lines, scale=3, noise_sigma=0.05, seed=2)
+    result = eng.recognize_document(page)
+    assert result.text.split("\n") == lines
+    assert result.mean_confidence > 0.8
+
+
+def test_recognize_document_empty_page():
+    eng = OcrEngine()
+    result = eng.recognize_document(np.zeros((40, 80)))
+    assert result.text == ""
+
+
+# -------------------------------------------------------------- DB format
+def test_signature_db_roundtrip():
+    db = SignatureDatabase.generate(count=20, seed=2)
+    text = db.dumps()
+    db2 = SignatureDatabase.loads(text)
+    assert [s.name for s in db2.signatures] == [s.name for s in db.signatures]
+    assert [s.pattern for s in db2.signatures] == [s.pattern for s in db.signatures]
+
+
+def test_signature_db_parse_comments_and_errors():
+    db = SignatureDatabase.loads(
+        "# virus db v1\n\nEICAR-TEST=58354f21\nWORM-A=deadbeef\n"
+    )
+    assert len(db) == 2
+    assert db.signatures[0].pattern == bytes.fromhex("58354f21")
+    with pytest.raises(ValueError, match="NAME=HEX"):
+        SignatureDatabase.loads("garbage line")
+    with pytest.raises(ValueError, match="bad hex"):
+        SignatureDatabase.loads("X=zz")
+
+
+def test_loaded_db_scans_like_original():
+    db = SignatureDatabase.generate(count=10, seed=5)
+    reloaded = SignatureDatabase.loads(db.dumps())
+    data = VirusScanner(db).implant(b"\x00" * 5000, 3, 100)
+    a = VirusScanner(db).scan("x", data)
+    b = VirusScanner(reloaded).scan("x", data)
+    assert sorted(a.detections) == sorted(b.detections)
+
+
+# ---------------------------------------------------------- accuracy eval
+def test_evaluate_accuracy_degrades_with_noise():
+    from repro.apps import evaluate_accuracy
+
+    eng = OcrEngine()
+    corpus = ["HELLO WORLD", "IPDPS 2017", "RATTRAP CLOUD"]
+    clean = evaluate_accuracy(eng, corpus, noise_sigma=0.0)
+    noisy = evaluate_accuracy(eng, corpus, noise_sigma=0.35, seed=3)
+    assert clean == 1.0
+    assert noisy < clean
+    assert 0.0 <= noisy <= 1.0
+    with pytest.raises(ValueError):
+        evaluate_accuracy(eng, [])

@@ -1,0 +1,107 @@
+"""Property-based tests of the processor-sharing CPU model.
+
+These pin the fluid-model invariants the platform timings rest on:
+work conservation, fairness, and monotonicity under load.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hostos import MultiCoreCPU
+from repro.offload import OffloadRequest
+from repro.network import make_link
+from repro.platform import RattrapPlatform
+from repro.sim import Environment
+from repro.workloads import CHESS_GAME
+
+
+jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0),  # arrival
+        st.floats(min_value=0.01, max_value=10.0),  # work
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _run_jobs(cores, jobs):
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=cores)
+    finish = {}
+
+    def submit(env, i, arrival, work):
+        yield env.timeout(arrival)
+        yield cpu.execute(work)
+        finish[i] = env.now
+
+    for i, (arrival, work) in enumerate(jobs):
+        env.process(submit(env, i, arrival, work))
+    env.run()
+    return env, cpu, finish
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 8), jobs_strategy)
+def test_ps_completion_never_before_work_done(cores, jobs):
+    env, cpu, finish = _run_jobs(cores, jobs)
+    for i, (arrival, work) in enumerate(jobs):
+        assert finish[i] >= arrival + work - 1e-6, (i, jobs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 8), jobs_strategy)
+def test_ps_work_conservation(cores, jobs):
+    """The integral of busy capacity equals the total work served."""
+    env, cpu, finish = _run_jobs(cores, jobs)
+    total_work = sum(w for _, w in jobs)
+    horizon = max(finish.values()) + 1e-9
+    busy_integral = cpu.utilization.series.time_average(0.0, horizon) * horizon
+    assert busy_integral == pytest.approx(total_work, rel=1e-6, abs=1e-6)
+    assert cpu.completed_jobs == len(jobs)
+    assert cpu.active_jobs == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs_strategy)
+def test_ps_more_cores_never_slower(jobs):
+    _, _, finish_small = _run_jobs(2, jobs)
+    _, _, finish_big = _run_jobs(8, jobs)
+    for i in finish_small:
+        assert finish_big[i] <= finish_small[i] + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 4), jobs_strategy)
+def test_ps_extra_load_never_faster(cores, jobs):
+    _, _, base = _run_jobs(cores, jobs)
+    loaded = jobs + [(0.0, 5.0)]
+    _, _, with_extra = _run_jobs(cores, loaded)
+    for i in base:
+        assert with_extra[i] >= base[i] - 1e-6
+
+
+def test_ps_equal_jobs_finish_together():
+    env, cpu, finish = _run_jobs(1, [(0.0, 2.0)] * 5)
+    times = set(round(t, 9) for t in finish.values())
+    assert len(times) == 1
+    assert times.pop() == pytest.approx(10.0)
+
+
+def test_binder_traffic_counts_per_container():
+    """End-to-end: each Rattrap request produces namespaced Binder ioctls."""
+    env = Environment()
+    platform = RattrapPlatform(env)
+    link = make_link("lan-wifi")
+    for i, device in enumerate(("d0", "d0", "d1")):
+        env.run(until=platform.submit(
+            OffloadRequest(i, device, "chess", CHESS_GAME, seq_on_device=i), link))
+    records = {r.owner_device: r for r in platform.db.all_records()}
+    c0 = records["d0"].runtime
+    c1 = records["d1"].runtime
+    assert c0.device_namespace.state_of("/dev/binder").ioctl_count == 4  # 2 reqs
+    assert c1.device_namespace.state_of("/dev/binder").ioctl_count == 2
+    # The shared /dev/binder node aggregates both namespaces' handles.
+    assert platform.server.kernel.devices.get("/dev/binder").open_count == 2

@@ -1,0 +1,153 @@
+"""Tests for weighted (GPS) processor sharing and scheduler priorities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hostos import MultiCoreCPU
+from repro.sim import Environment
+
+
+def test_weight_validation():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=1)
+    with pytest.raises(ValueError):
+        cpu.execute(1.0, weight=0.0)
+    with pytest.raises(ValueError):
+        cpu.execute(1.0, weight=-1.0)
+
+
+def test_weights_split_contended_core_proportionally():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=1)
+    # weight 3 job gets 3/4 of the core, weight 1 gets 1/4.
+    heavy = cpu.execute(3.0, weight=3.0)
+    light = cpu.execute(1.0, weight=1.0)
+    env.run(until=env.any_of([heavy, light]))
+    # Both progress at their share: heavy needs 3/(3/4)=4 s, light 1/(1/4)=4 s.
+    assert env.now == pytest.approx(4.0)
+    env.run()
+    assert cpu.completed_jobs == 2
+
+
+def test_weights_irrelevant_when_uncontended():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=4)
+    slow = cpu.execute(2.0, weight=0.1)
+    fast = cpu.execute(2.0, weight=10.0)
+    env.run(until=env.all_of([slow, fast]))
+    assert env.now == pytest.approx(2.0)  # both had a full core
+
+
+def test_water_filling_caps_at_one_core():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=2)
+    # Weight-100 job can still only use one core; the two light jobs
+    # share the other (0.5 each), not starve.
+    vip = cpu.execute(1.0, weight=100.0)
+    a = cpu.execute(1.0, weight=1.0)
+    b = cpu.execute(1.0, weight=1.0)
+    env.run(until=vip)
+    assert env.now == pytest.approx(1.0)
+    env.run(until=env.all_of([a, b]))
+    # Light jobs: 0.5 rate for 1 s, then a full core each: 1+0.5 = 1.5 s.
+    assert env.now == pytest.approx(1.5)
+
+
+def test_priority_restores_interactive_latency_under_saturation():
+    """The Monitor & Scheduler story: a saturated server, one
+    interactive job.  Weighting it 8x cuts its completion time."""
+
+    def run(weight):
+        env = Environment()
+        cpu = MultiCoreCPU(env, cores=2)
+        for _ in range(8):  # batch background load
+            cpu.execute(4.0)
+        done = cpu.execute(0.5, weight=weight, tag="interactive")
+        env.run(until=done)
+        return env.now
+
+    unweighted = run(1.0)
+    weighted = run(8.0)
+    assert weighted < unweighted / 2
+    # Equal weights: 9 jobs on 2 cores -> rate 2/9 -> 0.5 s needs 2.25 s.
+    assert unweighted == pytest.approx(0.5 * 9 / 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=5.0),  # work
+            st.floats(min_value=0.1, max_value=8.0),  # weight
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(1, 4),
+)
+def test_weighted_ps_work_conservation(jobs, cores):
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=cores)
+    events = [cpu.execute(w, weight=wt) for w, wt in jobs]
+    env.run(until=env.all_of(events))
+    horizon = env.now
+    total_work = sum(w for w, _ in jobs)
+    busy_integral = cpu.utilization.series.time_average(0.0, horizon) * horizon
+    assert busy_integral == pytest.approx(total_work, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.2, max_value=5.0))
+def test_heavier_weight_never_finishes_later(weight_boost):
+    """Raising one job's weight can only help it (all else equal)."""
+
+    def run(w):
+        env = Environment()
+        cpu = MultiCoreCPU(env, cores=1)
+        target = cpu.execute(1.0, weight=w)
+        for _ in range(3):
+            cpu.execute(2.0)
+        env.run(until=target)
+        return env.now
+
+    base = run(1.0)
+    boosted = run(1.0 + weight_boost)
+    assert boosted <= base + 1e-9
+
+
+def test_platform_priority_weights_speed_up_app():
+    """End-to-end: Monitor & Scheduler priorities shorten execution of
+    the prioritized app on a saturated platform."""
+    from repro.network import make_link
+    from repro.offload import OffloadRequest, Phase
+    from repro.platform import RattrapPlatform
+    from repro.sim import Environment as Env
+    from repro.workloads import CHESS_GAME, LINPACK
+
+    def run(weights):
+        env = Env()
+        plat = RattrapPlatform(env)
+        plat.priority_weights = weights
+        # Saturate the 12-core server with batch linpack requests.
+        plat.server.cpu.cores = 2  # shrink to force contention
+        plat.server.cpu.utilization.capacity = 2
+        link = make_link("lan-wifi")
+        procs = []
+        for i in range(6):
+            procs.append(plat.submit(
+                OffloadRequest(i, f"batch-{i}", "linpack", LINPACK), link))
+        chess_proc = plat.submit(
+            OffloadRequest(99, "gamer", "chess", CHESS_GAME), link)
+        result = env.run(until=chess_proc)
+        return result.phase(Phase.EXECUTION)
+
+    fair = run({})
+    prioritized = run({"chess": 8.0})
+    assert prioritized < fair
+
+
+def test_zero_work_with_weight_completes():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=1)
+    assert cpu.execute(0.0, weight=5.0).triggered

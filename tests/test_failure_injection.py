@@ -1,0 +1,144 @@
+"""Failure-injection tests: the platform under abnormal conditions."""
+
+import pytest
+
+from repro.hostos import OutOfMemoryError
+from repro.network import Link, make_link
+from repro.offload import OffloadRequest, run_inflow_experiment
+from repro.platform import RattrapPlatform, VMCloudPlatform
+from repro.platform.access import RequestAccessController
+from repro.runtime.base import RuntimeState
+from repro.sim import Environment, Interrupt
+from repro.workloads import CHESS_GAME, LINPACK, generate_inflow
+
+
+def test_request_interrupted_mid_flight_releases_scheduler_slot():
+    env = Environment()
+    platform = RattrapPlatform(env)
+    link = make_link("lan-wifi")
+    proc = platform.submit(OffloadRequest(0, "d0", "chess", CHESS_GAME), link)
+    proc.defused = True
+
+    def killer(env):
+        yield env.timeout(3.0)  # mid-execution (boot 1.75 + transfer...)
+        proc.interrupt("client disconnected")
+
+    env.process(killer(env))
+    env.run()
+    assert isinstance(proc.exception, Interrupt)
+    # The scheduler's active count must have been released (finally).
+    assert platform.scheduler.active_requests == 0
+
+
+def test_server_memory_exhaustion_surfaces_oom():
+    env = Environment()
+    platform = VMCloudPlatform(env)
+    link = make_link("lan-wifi")
+    # 33 devices x 512 MB > 16 GB.
+    plans = generate_inflow(LINPACK, devices=33, requests_per_device=1,
+                            think_time_s=1.0, seed=0)
+    with pytest.raises(OutOfMemoryError):
+        run_inflow_experiment(env, platform, plans, link)
+    # Accounting stays consistent: reserved never exceeds capacity.
+    assert platform.server.memory.reserved_mb <= platform.server.memory.capacity_mb
+
+
+def test_rattrap_fits_where_vm_cloud_cannot():
+    env = Environment()
+    platform = RattrapPlatform(env)
+    link = make_link("lan-wifi")
+    plans = generate_inflow(LINPACK, devices=33, requests_per_device=1,
+                            think_time_s=1.0, seed=0)
+    results = run_inflow_experiment(env, platform, plans, link)
+    assert len(results) == 33  # 33 x 96 MB fits easily
+
+
+def test_extreme_loss_link_still_completes():
+    import numpy as np
+
+    env = Environment()
+    platform = RattrapPlatform(env)
+    # VirusScan ships ~900 KB per request: loss-driven retransmissions
+    # dominate any favourable jitter draw.
+    lossy = Link("flaky", latency_s=0.05, up_bw_bps=1e6, down_bw_bps=1e6,
+                 loss_rate=0.30, jitter_sigma=0.5,
+                 rng=np.random.default_rng(0))
+    from repro.workloads import VIRUS_SCAN
+
+    result = env.run(until=platform.submit(
+        OffloadRequest(0, "d0", "virusscan", VIRUS_SCAN), lossy))
+    assert result.response_time > 0
+    # Retransmissions inflate transfer time vs a clean link.
+    env2 = Environment()
+    platform2 = RattrapPlatform(env2)
+    clean = Link("clean", latency_s=0.05, up_bw_bps=1e6, down_bw_bps=1e6)
+    r2 = env2.run(until=platform2.submit(
+        OffloadRequest(0, "d0", "virusscan", VIRUS_SCAN), clean))
+    assert result.response_time > r2.response_time * 1.1
+
+
+def test_blocked_app_requests_fail_fast_and_cheap():
+    env = Environment()
+    ac = RequestAccessController(violation_threshold=1)
+    platform = RattrapPlatform(env, access_controller=ac)
+    link = make_link("lan-wifi")
+    env.run(until=platform.submit(OffloadRequest(0, "d0", "evil", CHESS_GAME), link))
+    ac.filter_operation("evil", "devns.escape")
+    before = platform.dispatcher.cold_boots
+    r = env.run(until=platform.submit(
+        OffloadRequest(1, "d0", "evil", CHESS_GAME, seq_on_device=1), link))
+    assert r.blocked
+    # A blocked request never reaches the dispatcher (no new boots, no
+    # runtime work).
+    assert platform.dispatcher.cold_boots == before
+    assert r.bytes_up == 0
+
+
+def test_reaper_never_kills_a_busy_runtime():
+    env = Environment()
+    platform = RattrapPlatform(env)
+    platform.start_idle_reaper(idle_timeout_s=0.5, check_interval_s=0.1)
+    link = make_link("lan-wifi")
+    # Linpack takes ~2 s of execution — far longer than the timeout.
+    result = env.run(until=platform.submit(
+        OffloadRequest(0, "d0", "linpack", LINPACK), link))
+    assert not result.blocked
+    # The runtime survived its own request despite the aggressive reaper.
+    record = platform.db.get(result.executed_on)
+    assert record.total_requests == 1
+
+
+def test_stop_runtime_with_inflight_request_is_visible():
+    # Stopping READY runtimes between requests is safe; the record's
+    # counters expose any in-flight work so operators can drain first.
+    env = Environment()
+    platform = RattrapPlatform(env)
+    link = make_link("lan-wifi")
+    r = env.run(until=platform.submit(
+        OffloadRequest(0, "d0", "chess", CHESS_GAME), link))
+    record = platform.db.get(r.executed_on)
+    assert record.active_requests == 0
+    record.runtime.stop()
+    assert record.runtime.state is RuntimeState.STOPPED
+    # Memory is back.
+    assert platform.server.memory.reservation(record.cid) is None
+
+
+def test_interrupting_boot_waiter_leaves_boot_intact():
+    env = Environment()
+    platform = RattrapPlatform(env, dispatch_policy="app-affinity")
+    link = make_link("lan-wifi")
+    p1 = platform.submit(OffloadRequest(0, "d0", "chess", CHESS_GAME), link)
+    p2 = platform.submit(OffloadRequest(1, "d1", "chess", CHESS_GAME), link)
+    p2.defused = True
+
+    def killer(env):
+        yield env.timeout(0.5)  # while the container is still booting
+        p2.interrupt("gave up")
+
+    env.process(killer(env))
+    r1 = env.run(until=p1)
+    assert not r1.blocked  # the surviving request completed normally
+    assert isinstance(p2.exception, Interrupt)
+    env.run()
+    assert platform.dispatcher.cold_boots == 1

@@ -1,0 +1,131 @@
+"""Tests for device-namespace isolation and multiplexing."""
+
+import pytest
+
+from repro.hostos import (
+    DeviceError,
+    DeviceNamespaceManager,
+    DeviceRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = DeviceRegistry()
+    reg.create("/dev/binder", provider="binder_linux", namespaced=True)
+    reg.create("/dev/alarm", provider="android_alarm", namespaced=True)
+    reg.create("/dev/ashmem", provider="ashmem_linux", namespaced=False)
+    return reg
+
+
+@pytest.fixture
+def manager(registry):
+    return DeviceNamespaceManager(registry)
+
+
+def test_namespaced_open_gets_private_state(manager):
+    ns1, ns2 = manager.create(), manager.create()
+    s1 = ns1.open("/dev/binder")
+    s2 = ns2.open("/dev/binder")
+    assert s1 is not s2
+    assert s1.namespace_id != s2.namespace_id
+
+
+def test_namespaced_state_isolated_between_containers(manager):
+    ns1, ns2 = manager.create(), manager.create()
+    s1 = ns1.open("/dev/binder")
+    ns2.open("/dev/binder")
+    s1.ioctl()
+    s1.ioctl()
+    assert s1.ioctl_count == 2
+    assert ns2.state_of("/dev/binder").ioctl_count == 0
+
+
+def test_namespaced_private_data_isolated(manager):
+    ns1, ns2 = manager.create(), manager.create()
+    s1 = ns1.open("/dev/binder")
+    s2 = ns2.open("/dev/binder")
+    s1.data["service_registry"] = ["activity"]
+    assert "service_registry" not in s2.data
+
+
+def test_global_device_is_shared(manager):
+    ns1, ns2 = manager.create(), manager.create()
+    d1 = ns1.open("/dev/ashmem")
+    d2 = ns2.open("/dev/ashmem")
+    assert d1 is d2
+    assert d1.open_count == 2
+
+
+def test_shared_node_tracks_aggregate_handles(manager, registry):
+    ns1, ns2 = manager.create(), manager.create()
+    ns1.open("/dev/binder")
+    ns2.open("/dev/binder")
+    assert registry.get("/dev/binder").open_count == 2
+    ns1.close("/dev/binder")
+    assert registry.get("/dev/binder").open_count == 1
+
+
+def test_reopen_same_namespace_reuses_state(manager):
+    ns = manager.create()
+    s1 = ns.open("/dev/binder")
+    s2 = ns.open("/dev/binder")
+    assert s1 is s2
+    assert s1.open_count == 2
+
+
+def test_close_never_opened_rejected(manager):
+    ns = manager.create()
+    with pytest.raises(DeviceError):
+        ns.close("/dev/binder")
+
+
+def test_teardown_releases_all_handles(manager, registry):
+    ns = manager.create()
+    ns.open("/dev/binder")
+    ns.open("/dev/binder")
+    ns.open("/dev/alarm")
+    ns.teardown()
+    assert registry.get("/dev/binder").open_count == 0
+    assert registry.get("/dev/alarm").open_count == 0
+    assert not ns.active
+    assert len(manager) == 0
+
+
+def test_torn_down_namespace_rejects_operations(manager):
+    ns = manager.create()
+    ns.teardown()
+    with pytest.raises(DeviceError):
+        ns.open("/dev/binder")
+
+
+def test_teardown_allows_module_unload(manager, registry):
+    # Once every namespace is gone, the device provider can be removed —
+    # mirroring Rattrap unloading idle Android drivers.
+    ns = manager.create()
+    ns.open("/dev/binder")
+    with pytest.raises(DeviceError):
+        registry.remove_provider("binder_linux")
+    ns.teardown()
+    assert registry.remove_provider("binder_linux") == 1
+
+
+def test_open_paths_reports_live_handles(manager):
+    ns = manager.create()
+    ns.open("/dev/binder")
+    ns.open("/dev/alarm")
+    ns.close("/dev/alarm")
+    assert ns.open_paths() == ["/dev/binder"]
+
+
+def test_namespace_ids_unique(manager):
+    ids = {manager.create().ns_id for _ in range(10)}
+    assert len(ids) == 10
+
+
+def test_active_namespaces_listing(manager):
+    ns1 = manager.create()
+    ns2 = manager.create()
+    assert manager.active_namespaces() == [ns1.ns_id, ns2.ns_id]
+    ns1.teardown()
+    assert manager.active_namespaces() == [ns2.ns_id]

@@ -1,0 +1,216 @@
+"""Tests for the kernel model, loadable modules and pseudo-devices."""
+
+import pytest
+
+from repro.hostos import (
+    ANDROID_CONTAINER_DRIVER,
+    CHROMEOS_DRIVER_PACK,
+    REQUIRED_ANDROID_FEATURES,
+    DeviceError,
+    DeviceRegistry,
+    Kernel,
+    KernelError,
+    ModuleSpec,
+    android_container_driver_pack,
+)
+
+
+# ------------------------------------------------------------ DeviceRegistry
+def test_device_create_and_get():
+    reg = DeviceRegistry()
+    node = reg.create("/dev/binder", provider="binder_linux", namespaced=True)
+    assert reg.get("/dev/binder") is node
+    assert reg.exists("/dev/binder")
+    assert node.namespaced
+
+
+def test_device_duplicate_rejected():
+    reg = DeviceRegistry()
+    reg.create("/dev/x", provider="m")
+    with pytest.raises(DeviceError):
+        reg.create("/dev/x", provider="m2")
+
+
+def test_device_remove_open_rejected():
+    reg = DeviceRegistry()
+    node = reg.create("/dev/x", provider="m")
+    node.open()
+    with pytest.raises(DeviceError):
+        reg.remove("/dev/x")
+    node.close()
+    reg.remove("/dev/x")
+    assert not reg.exists("/dev/x")
+
+
+def test_device_missing_operations():
+    reg = DeviceRegistry()
+    with pytest.raises(DeviceError):
+        reg.get("/dev/nope")
+    with pytest.raises(DeviceError):
+        reg.remove("/dev/nope")
+
+
+def test_device_handle_protocol():
+    reg = DeviceRegistry()
+    node = reg.create("/dev/x", provider="m")
+    with pytest.raises(DeviceError):
+        node.close()
+    with pytest.raises(DeviceError):
+        node.ioctl()
+    node.open()
+    node.ioctl()
+    assert node.ioctl_count == 1
+    node.close()
+
+
+def test_device_remove_provider_sweeps_only_its_nodes():
+    reg = DeviceRegistry()
+    reg.create("/dev/a", provider="m1")
+    reg.create("/dev/b", provider="m1")
+    reg.create("/dev/c", provider="m2")
+    assert reg.remove_provider("m1") == 2
+    assert reg.paths() == ["/dev/c"]
+
+
+# ---------------------------------------------------------------- ModuleSpec
+def test_module_spec_validation():
+    with pytest.raises(ValueError):
+        ModuleSpec(name="", provides=frozenset({"f"}))
+    with pytest.raises(ValueError):
+        ModuleSpec(name="m", provides=frozenset())
+
+
+def test_android_driver_pack_covers_required_features():
+    provided = set()
+    for spec in android_container_driver_pack():
+        provided |= spec.provides
+    assert REQUIRED_ANDROID_FEATURES <= provided
+
+
+def test_android_driver_pack_namespaces_alarm_binder_logger():
+    # §IV-B1: device namespace isolates Alarm, Binder and Logger.
+    for mod in ("binder_linux", "android_alarm", "android_logger"):
+        spec = ANDROID_CONTAINER_DRIVER[mod]
+        assert all(ns for _, ns in spec.devices), mod
+
+
+# -------------------------------------------------------------------- Kernel
+def test_fresh_kernel_lacks_android_features():
+    k = Kernel()
+    assert not k.supports("android.binder")
+    assert k.supports("linux.namespaces.pid")
+    assert not k.supports_all(REQUIRED_ANDROID_FEATURES)
+
+
+def test_loading_driver_pack_enables_android():
+    k = Kernel()
+    for spec in android_container_driver_pack():
+        k.load_module(spec)
+    assert k.supports_all(REQUIRED_ANDROID_FEATURES)
+    assert k.devices.exists("/dev/binder")
+    assert k.devices.exists("/dev/log/main")
+    assert k.load_count == len(android_container_driver_pack())
+
+
+def test_double_load_rejected():
+    k = Kernel()
+    spec = ANDROID_CONTAINER_DRIVER["binder_linux"]
+    k.load_module(spec)
+    with pytest.raises(KernelError):
+        k.load_module(spec)
+
+
+def test_load_with_missing_dependency_rejected():
+    k = Kernel()
+    dependent = CHROMEOS_DRIVER_PACK["chromeos_pstore"]
+    with pytest.raises(KernelError, match="depends"):
+        k.load_module(dependent)
+    k.load_module(CHROMEOS_DRIVER_PACK["chromeos_laptop"])
+    k.load_module(dependent)
+    assert k.supports("chromeos.pstore")
+
+
+def test_duplicate_feature_rejected():
+    k = Kernel()
+    k.load_module(ANDROID_CONTAINER_DRIVER["binder_linux"])
+    clone = ModuleSpec(name="binder_clone", provides=frozenset({"android.binder"}))
+    with pytest.raises(KernelError, match="already-present"):
+        k.load_module(clone)
+
+
+def test_unload_removes_features_and_devices():
+    k = Kernel()
+    k.load_module(ANDROID_CONTAINER_DRIVER["binder_linux"])
+    k.unload_module("binder_linux")
+    assert not k.supports("android.binder")
+    assert not k.devices.exists("/dev/binder")
+    assert k.unload_count == 1
+
+
+def test_unload_not_loaded_rejected():
+    with pytest.raises(KernelError):
+        Kernel().unload_module("ghost")
+
+
+def test_unload_with_users_rejected():
+    k = Kernel()
+    k.load_module(ANDROID_CONTAINER_DRIVER["binder_linux"])
+    k.ref_module("binder_linux")
+    with pytest.raises(KernelError, match="in use"):
+        k.unload_module("binder_linux")
+    k.unref_module("binder_linux")
+    k.unload_module("binder_linux")
+
+
+def test_unload_with_dependants_rejected():
+    k = Kernel()
+    k.load_module(CHROMEOS_DRIVER_PACK["chromeos_laptop"])
+    k.load_module(CHROMEOS_DRIVER_PACK["chromeos_pstore"])
+    with pytest.raises(KernelError, match="needed by"):
+        k.unload_module("chromeos_laptop")
+
+
+def test_refcount_underflow_rejected():
+    k = Kernel()
+    k.load_module(ANDROID_CONTAINER_DRIVER["binder_linux"])
+    with pytest.raises(KernelError):
+        k.unref_module("binder_linux")
+
+
+def test_reap_unused_respects_refcounts_and_keep():
+    k = Kernel()
+    for spec in android_container_driver_pack():
+        k.load_module(spec)
+    k.ref_module("binder_linux")
+    removed = k.reap_unused(keep=["android_alarm"])
+    assert "binder_linux" not in removed
+    assert "android_alarm" not in removed
+    assert "android_logger" in removed
+    assert k.is_loaded("binder_linux")
+    assert k.is_loaded("android_alarm")
+
+
+def test_reap_unused_handles_dependency_chains():
+    k = Kernel()
+    k.load_module(CHROMEOS_DRIVER_PACK["chromeos_laptop"])
+    k.load_module(CHROMEOS_DRIVER_PACK["chromeos_pstore"])
+    removed = k.reap_unused()
+    assert set(removed) == {"chromeos_laptop", "chromeos_pstore"}
+    assert k.loaded_modules() == []
+
+
+def test_module_memory_accounting():
+    k = Kernel()
+    assert k.module_memory_kb() == 0
+    k.load_module(ANDROID_CONTAINER_DRIVER["android_logger"])
+    assert k.module_memory_kb() == 1024
+    k.unload_module("android_logger")
+    assert k.module_memory_kb() == 0
+
+
+def test_builtin_features_immutable_by_unload():
+    k = Kernel()
+    # Builtins are not modules and can never disappear.
+    assert "linux.tmpfs" in k.builtin_features
+    with pytest.raises(KernelError):
+        k.unload_module("linux.tmpfs")

@@ -1,0 +1,299 @@
+"""Tests for CPU, memory and storage models plus the assembled server."""
+
+import pytest
+
+from repro.hostos import (
+    MB,
+    CloudServer,
+    MemoryAccount,
+    MultiCoreCPU,
+    OutOfMemoryError,
+    ServerSpec,
+    StorageDevice,
+    hdd,
+    tmpfs,
+)
+from repro.sim import Environment
+
+
+# ------------------------------------------------------------- MultiCoreCPU
+def test_cpu_single_job_exact_time():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=4)
+    done = cpu.execute(5.0)
+    env.run(until=done)
+    assert env.now == pytest.approx(5.0)
+    assert cpu.completed_jobs == 1
+
+
+def test_cpu_parallel_jobs_within_cores_no_slowdown():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=4)
+    events = [cpu.execute(3.0) for _ in range(4)]
+    env.run(until=env.all_of(events))
+    assert env.now == pytest.approx(3.0)
+
+
+def test_cpu_oversubscription_processor_sharing():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=1)
+    # Two jobs of 1s each on one core: PS finishes both at t=2.
+    events = [cpu.execute(1.0), cpu.execute(1.0)]
+    env.run(until=env.all_of(events))
+    assert env.now == pytest.approx(2.0)
+
+
+def test_cpu_oversubscription_unequal_jobs():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=1)
+    short = cpu.execute(1.0)
+    long = cpu.execute(3.0)
+    env.run(until=short)
+    # Both share the core: short's 1s of work takes 2s wall-clock.
+    assert env.now == pytest.approx(2.0)
+    env.run(until=long)
+    # Remaining 2s of long runs alone: completes at 2 + 2 = 4.
+    assert env.now == pytest.approx(4.0)
+
+
+def test_cpu_speed_factor_models_virtualization_tax():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=1)
+    done = cpu.execute(9.0, speed_factor=0.9)
+    env.run(until=done)
+    assert env.now == pytest.approx(10.0)
+
+
+def test_cpu_zero_work_completes_immediately():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=1)
+    done = cpu.execute(0.0)
+    assert done.triggered
+
+
+def test_cpu_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        MultiCoreCPU(env, cores=0)
+    cpu = MultiCoreCPU(env, cores=1)
+    with pytest.raises(ValueError):
+        cpu.execute(-1.0)
+    with pytest.raises(ValueError):
+        cpu.execute(1.0, speed_factor=0.0)
+    with pytest.raises(ValueError):
+        cpu.execute(1.0, speed_factor=1.5)
+
+
+def test_cpu_staggered_arrivals():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=1)
+    finish_times = {}
+
+    def submit(env, delay, work, tag):
+        yield env.timeout(delay)
+        yield cpu.execute(work, tag=tag)
+        finish_times[tag] = env.now
+
+    env.process(submit(env, 0.0, 2.0, "a"))
+    env.process(submit(env, 1.0, 2.0, "b"))
+    env.run()
+    # a runs alone [0,1), shares [1,3): a done at 3. b then alone: 3+1=4.
+    assert finish_times["a"] == pytest.approx(3.0)
+    assert finish_times["b"] == pytest.approx(4.0)
+
+
+def test_cpu_utilization_series_tracks_load():
+    env = Environment()
+    cpu = MultiCoreCPU(env, cores=2)
+    cpu.execute(4.0)
+    cpu.execute(4.0)
+    cpu.execute(4.0)  # 3 jobs on 2 cores -> 100% busy
+    env.run()
+    series = cpu.utilization.percent_series(0.0, 4.0, 1.0)
+    assert series[0] == pytest.approx(100.0)
+    assert cpu.active_jobs == 0
+
+
+# ------------------------------------------------------------ MemoryAccount
+def test_memory_reserve_release_cycle():
+    env = Environment()
+    mem = MemoryAccount(env, capacity_mb=1024)
+    res = mem.reserve("vm-1", 512)
+    assert mem.reserved_mb == 512
+    assert mem.available_mb == 512
+    res.use(110.56)
+    assert mem.used_mb == pytest.approx(110.56)
+    mem.release("vm-1")
+    assert mem.reserved_mb == 0
+
+
+def test_memory_oom_on_over_reserve():
+    env = Environment()
+    mem = MemoryAccount(env, capacity_mb=1024)
+    mem.reserve("vm-1", 512)
+    mem.reserve("vm-2", 512)
+    with pytest.raises(OutOfMemoryError):
+        mem.reserve("vm-3", 512)
+
+
+def test_memory_reservation_usage_cap():
+    env = Environment()
+    mem = MemoryAccount(env, capacity_mb=1024)
+    res = mem.reserve("cac-1", 96)
+    res.use(96)
+    with pytest.raises(OutOfMemoryError):
+        res.use(1)
+    res.free(50)
+    res.use(10)
+    with pytest.raises(ValueError):
+        res.free(100)
+
+
+def test_memory_duplicate_owner_rejected():
+    env = Environment()
+    mem = MemoryAccount(env, capacity_mb=1024)
+    mem.reserve("x", 10)
+    with pytest.raises(ValueError):
+        mem.reserve("x", 10)
+
+
+def test_memory_release_unknown_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        MemoryAccount(env, capacity_mb=64).release("ghost")
+
+
+def test_memory_density_argument():
+    # Table I: 512 MB VMs vs 96 MB optimized CACs on a 16 GB server.
+    env = Environment()
+    mem = MemoryAccount(env, capacity_mb=16 * 1024)
+    assert mem.max_instances(512) == 32
+    assert mem.max_instances(96) == 170
+    with pytest.raises(ValueError):
+        mem.max_instances(0)
+
+
+def test_memory_reserved_series_records_changes():
+    env = Environment()
+    mem = MemoryAccount(env, capacity_mb=1024)
+
+    def proc(env):
+        yield env.timeout(5)
+        mem.reserve("a", 100)
+        yield env.timeout(5)
+        mem.release("a")
+
+    env.process(proc(env))
+    env.run()
+    assert mem.reserved_series.value_at(6.0) == 100
+    assert mem.reserved_series.value_at(11.0) == 0
+
+
+# ------------------------------------------------------------ StorageDevice
+def test_storage_service_time_formula():
+    env = Environment()
+    dev = StorageDevice(env, "d", read_bw_mbps=100, write_bw_mbps=50, latency_s=0.01)
+    assert dev.service_time(100 * MB, "read") == pytest.approx(1.01)
+    assert dev.service_time(100 * MB, "write") == pytest.approx(2.01)
+
+
+def test_storage_transfer_takes_time_and_tracks_bytes():
+    env = Environment()
+    dev = StorageDevice(env, "d", read_bw_mbps=100, write_bw_mbps=100, latency_s=0.0)
+
+    def proc(env):
+        yield env.process(dev.read(50 * MB))
+        return env.now
+
+    assert env.run(until=env.process(proc(env))) == pytest.approx(0.5)
+    assert dev.tracker.reads.total == 50 * MB
+
+
+def test_storage_channel_serializes_transfers():
+    env = Environment()
+    dev = StorageDevice(env, "d", read_bw_mbps=100, write_bw_mbps=100, latency_s=0.0)
+    times = []
+
+    def proc(env, i):
+        yield env.process(dev.read(100 * MB))
+        times.append(env.now)
+
+    env.process(proc(env, 0))
+    env.process(proc(env, 1))
+    env.run()
+    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_storage_virt_overhead_multiplier():
+    env = Environment()
+    dev = StorageDevice(env, "d", read_bw_mbps=100, write_bw_mbps=100, latency_s=0.0)
+
+    def proc(env):
+        yield env.process(dev.write(100 * MB, virt_overhead=1.5))
+        return env.now
+
+    assert env.run(until=env.process(proc(env))) == pytest.approx(1.5)
+    with pytest.raises(ValueError):
+        list(dev.write(1, virt_overhead=0.5))
+
+
+def test_storage_capacity_enforced():
+    env = Environment()
+    dev = StorageDevice(
+        env, "d", read_bw_mbps=1, write_bw_mbps=1, latency_s=0, capacity_bytes=100
+    )
+    dev.allocate(80)
+    with pytest.raises(IOError):
+        dev.allocate(30)
+    dev.deallocate(80)
+    dev.allocate(100)
+    with pytest.raises(ValueError):
+        dev.deallocate(200)
+
+
+def test_tmpfs_much_faster_than_hdd():
+    env = Environment()
+    disk, mem = hdd(env), tmpfs(env)
+    size = 10 * MB
+    assert mem.service_time(size, "read") < disk.service_time(size, "read") / 10
+
+
+# --------------------------------------------------------------- CloudServer
+def test_server_defaults_match_paper_testbed():
+    env = Environment()
+    server = CloudServer(env)
+    assert server.spec.cores == 12
+    assert server.spec.memory_mb == 16 * 1024
+    assert server.spec.disk_gb == 300.0
+    assert server.kernel.version == "3.18.0"
+
+
+def test_server_android_driver_lifecycle():
+    env = Environment()
+    server = CloudServer(env)
+    assert not server.android_ready()
+    p = server.load_android_driver()
+    env.run(until=p)
+    assert server.android_ready()
+    assert env.now < 1.0  # module loading is fast (no reboot!)
+    # Second load is a no-op.
+    p2 = server.load_android_driver()
+    loaded = env.run(until=p2)
+    assert loaded == []
+    removed = server.unload_android_driver()
+    assert removed  # nothing refs the modules
+    assert not server.android_ready()
+
+
+def test_server_snapshot_structure():
+    env = Environment()
+    server = CloudServer(env, name="s1")
+    snap = server.snapshot()
+    assert snap["android_ready"] is False
+    assert snap["memory_available_mb"] == 16 * 1024
+    assert snap["cpu_active_jobs"] == 0
+
+
+def test_server_spec_validation():
+    with pytest.raises(ValueError):
+        ServerSpec(cores=0)

@@ -1,0 +1,161 @@
+"""Tests for live runtime migration between servers."""
+
+import pytest
+
+from repro.network import make_link
+from repro.offload import OffloadRequest
+from repro.platform import (
+    MigrationError,
+    MigrationManager,
+    RattrapPlatform,
+    VMCloudPlatform,
+)
+from repro.runtime.base import RuntimeState
+from repro.sim import Environment
+from repro.workloads import CHESS_GAME
+
+MB = 1024 * 1024
+
+
+def _warm_platform(env, platform_cls=RattrapPlatform):
+    platform = platform_cls(env)
+    link = make_link("lan-wifi")
+    result = env.run(until=platform.submit(
+        OffloadRequest(0, "d0", "chess", CHESS_GAME), link))
+    return platform, platform.db.get(result.executed_on), link
+
+
+def test_migration_manager_validation():
+    with pytest.raises(ValueError):
+        MigrationManager(backbone_bw_mbps=0)
+    with pytest.raises(ValueError):
+        MigrationManager(dirty_rate=1.0)
+    with pytest.raises(ValueError):
+        MigrationManager(max_precopy_rounds=0)
+
+
+def test_container_migration_end_to_end():
+    env = Environment()
+    src, record, link = _warm_platform(env)
+    dst = RattrapPlatform(env)
+    manager = MigrationManager()
+    report = env.run(until=env.process(manager.migrate(record, src, dst)))
+
+    assert report.kind == "cloud-android-container"
+    assert report.downtime_s < report.total_time_s
+    assert record.runtime.state is RuntimeState.STOPPED
+    # Destination serves, warm, with the source's apps.
+    new_record = dst.db.get(report.new_cid)
+    assert new_record.runtime.is_ready
+    assert new_record.runtime.has_app("chess")
+    assert new_record.owner_device == "d0"
+    # Warehouse affinity follows the code.
+    assert report.new_cid in dst.warehouse.containers_for("chess")
+    # Source resources released, destination reserved.
+    assert src.server.memory.reserved_mb == 0
+    assert dst.server.memory.reserved_mb == 96.0
+
+
+def test_migrated_container_serves_requests_warm():
+    env = Environment()
+    src, record, link = _warm_platform(env)
+    dst = RattrapPlatform(env)
+    # The destination needs the code preserved to skip re-upload.
+    dst.warehouse.store("chess", int(CHESS_GAME.code_size_kb * 1024), now=env.now)
+    manager = MigrationManager()
+    report = env.run(until=env.process(manager.migrate(record, src, dst)))
+    result = env.run(until=dst.submit(
+        OffloadRequest(1, "d0", "chess", CHESS_GAME, seq_on_device=1), link))
+    assert result.executed_on == report.new_cid
+    assert result.code_cache_hit
+    from repro.offload import Phase
+
+    # Warm dispatch + first-sight access analysis only: no cold boot.
+    assert result.phase(Phase.PREPARATION) < 0.1
+
+
+def test_vm_migration_much_heavier_than_container():
+    env = Environment()
+    src_c, rec_c, _ = _warm_platform(env)
+    dst_c = RattrapPlatform(env)
+    manager = MigrationManager()
+    c_report = env.run(until=env.process(manager.migrate(rec_c, src_c, dst_c)))
+
+    env2 = Environment()
+    src_v, rec_v, _ = _warm_platform(env2, VMCloudPlatform)
+    dst_v = VMCloudPlatform(env2)
+    v_report = env2.run(until=env2.process(manager.migrate(rec_v, src_v, dst_v)))
+
+    assert v_report.transferred_bytes > c_report.transferred_bytes * 4
+    assert v_report.total_time_s > c_report.total_time_s * 3
+    # Both downtimes stay in the tens-of-milliseconds band.
+    assert c_report.downtime_s < 0.05 and v_report.downtime_s < 0.05
+
+
+def test_vm_migration_without_shared_storage_ships_disk():
+    env = Environment()
+    src, record, _ = _warm_platform(env, VMCloudPlatform)
+    dst = VMCloudPlatform(env)
+    manager = MigrationManager(shared_storage=False)
+    report = env.run(until=env.process(manager.migrate(record, src, dst)))
+    # 1.1 GB disk + 512 MB memory rounds.
+    assert report.transferred_bytes > 1400 * MB
+
+
+def test_container_private_top_cheap_even_without_shared_storage():
+    env = Environment()
+    src, record, _ = _warm_platform(env)
+    dst = RattrapPlatform(env)
+    manager = MigrationManager(shared_storage=False)
+    report = env.run(until=env.process(manager.migrate(record, src, dst)))
+    # Only the 7.1 MB private layer ships beyond memory state.
+    assert report.transferred_bytes < 130 * MB
+
+
+def test_migration_refuses_busy_runtime_unless_forced():
+    env = Environment()
+    platform = RattrapPlatform(env)
+    link = make_link("lan-wifi")
+    proc = platform.submit(OffloadRequest(0, "d0", "chess", CHESS_GAME), link)
+    env.run(until=env.now + 2.5)  # mid-request
+    record = platform.db.all_records()[0]
+    assert record.active_requests == 1
+    dst = RattrapPlatform(env)
+    manager = MigrationManager()
+    with pytest.raises(MigrationError, match="in flight"):
+        env.run(until=env.process(manager.migrate(record, platform, dst)))
+    env.run(until=proc)
+
+
+def test_migration_requires_ready_runtime_and_same_env():
+    env = Environment()
+    platform = RattrapPlatform(env)
+    cid = platform.db.new_cid()
+
+    class FakeReq:
+        device_id = "d0"
+        app_id = "chess"
+        profile = CHESS_GAME
+
+    runtime = platform.make_runtime(cid, FakeReq())
+    record = platform.db.register(runtime)
+    manager = MigrationManager()
+    dst = RattrapPlatform(env)
+    with pytest.raises(MigrationError, match="READY"):
+        env.run(until=env.process(manager.migrate(record, platform, dst)))
+    other_env = Environment()
+    dst2 = RattrapPlatform(other_env)
+    with pytest.raises(MigrationError, match="environment"):
+        env.run(until=env.process(manager.migrate(record, platform, dst2)))
+
+
+def test_precopy_rounds_shrink_geometrically():
+    env = Environment()
+    src, record, _ = _warm_platform(env)
+    dst = RattrapPlatform(env)
+    manager = MigrationManager(dirty_rate=0.5, max_precopy_rounds=3,
+                               stop_threshold_bytes=1 * MB)
+    report = env.run(until=env.process(manager.migrate(record, src, dst)))
+    assert report.precopy_rounds == 3
+    # 96 + 48 + 24 MB precopy + 12 MB residual (+ kernel state).
+    assert report.transferred_bytes == pytest.approx(180 * MB, rel=0.02)

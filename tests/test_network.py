@@ -1,0 +1,204 @@
+"""Tests for links, scenarios and message transfer."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    Link,
+    Mbps,
+    SCENARIOS,
+    TransferLog,
+    make_link,
+    scenario_names,
+    send_messages,
+)
+from repro.offload.messages import Message
+from repro.sim import Environment
+
+
+# -------------------------------------------------------------------- Link
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link("l", latency_s=-1, up_bw_bps=1, down_bw_bps=1)
+    with pytest.raises(ValueError):
+        Link("l", latency_s=0, up_bw_bps=0, down_bw_bps=1)
+    with pytest.raises(ValueError):
+        Link("l", latency_s=0, up_bw_bps=1, down_bw_bps=1, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        Link("l", latency_s=0, up_bw_bps=1, down_bw_bps=1, jitter_sigma=-0.1)
+    with pytest.raises(ValueError):
+        Link("l", latency_s=0, up_bw_bps=1, down_bw_bps=1, handshake_rounds=0)
+
+
+def test_expected_transfer_time_formula():
+    link = Link("l", latency_s=0.1, up_bw_bps=1000, down_bw_bps=500,
+                handshake_rounds=2)
+    assert link.expected_transfer_time(1000, "up") == pytest.approx(0.2 + 1.0)
+    assert link.expected_transfer_time(1000, "down") == pytest.approx(0.2 + 2.0)
+    with pytest.raises(ValueError):
+        link.expected_transfer_time(1, "sideways")
+
+
+def test_transmit_timing_deterministic_without_jitter():
+    env = Environment()
+    link = Link("l", latency_s=0.05, up_bw_bps=10000, down_bw_bps=10000,
+                handshake_rounds=1)
+
+    def proc(env):
+        yield env.process(link.transmit(env, 1000, "up"))
+        return env.now
+
+    assert env.run(until=env.process(proc(env))) == pytest.approx(0.05 + 0.1)
+    assert link.bytes_up == 1000
+    assert link.bytes_down == 0
+
+
+def test_transmit_negative_bytes_rejected():
+    env = Environment()
+    link = make_link("lan-wifi")
+    with pytest.raises(ValueError):
+        list(link.transmit(env, -1, "up"))
+
+
+def test_jitter_varies_latency():
+    rng = np.random.default_rng(1)
+    link = Link("l", latency_s=0.1, up_bw_bps=1, down_bw_bps=1,
+                jitter_sigma=0.5, rng=rng)
+    samples = {round(link.one_way_delay(), 9) for _ in range(20)}
+    assert len(samples) > 10
+
+
+def test_no_jitter_is_constant():
+    link = Link("l", latency_s=0.1, up_bw_bps=1, down_bw_bps=1)
+    assert link.one_way_delay() == 0.1
+    assert link.rtt() == 0.2
+
+
+def test_loss_inflates_wire_bytes():
+    rng = np.random.default_rng(2)
+    lossy = Link("l", latency_s=0, up_bw_bps=1, down_bw_bps=1,
+                 loss_rate=0.2, rng=rng)
+    clean = Link("c", latency_s=0, up_bw_bps=1, down_bw_bps=1)
+    n = 100 * 1500
+    inflated = np.mean([lossy._effective_bytes(n) for _ in range(30)])
+    assert inflated > n
+    assert clean._effective_bytes(n) == n
+    # Roughly geometric mean: n / (1 - p).
+    assert inflated == pytest.approx(n / 0.8, rel=0.1)
+
+
+def test_connect_takes_one_and_a_half_rtts():
+    env = Environment()
+    link = Link("l", latency_s=0.1, up_bw_bps=1, down_bw_bps=1)
+    env.run(until=env.process(link.connect(env)))
+    assert env.now == pytest.approx(0.3)
+
+
+# --------------------------------------------------------------- scenarios
+def test_scenario_names_cover_paper():
+    assert set(scenario_names()) == {"lan-wifi", "wan-wifi", "3g", "4g"}
+
+
+def test_scenario_parameters_verbatim_from_paper():
+    assert SCENARIOS["wan-wifi"]["latency_s"] == pytest.approx(0.060)
+    assert SCENARIOS["3g"]["up_bw_bps"] == pytest.approx(0.38 * Mbps)
+    assert SCENARIOS["3g"]["down_bw_bps"] == pytest.approx(0.09 * Mbps)
+    assert SCENARIOS["4g"]["up_bw_bps"] == pytest.approx(48.97 * Mbps)
+    assert SCENARIOS["4g"]["down_bw_bps"] == pytest.approx(7.64 * Mbps)
+
+
+def test_make_link_unknown_scenario():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        make_link("5g")
+
+
+def test_scenario_ordering_lan_fastest():
+    sizes = 100 * 1024
+    times = {
+        name: make_link(name).expected_transfer_time(sizes, "up")
+        for name in scenario_names()
+    }
+    assert times["lan-wifi"] < times["wan-wifi"]
+    assert times["4g"] < times["3g"]
+    assert times["lan-wifi"] < times["3g"]
+
+
+# ------------------------------------------------------------ TransferLog
+def test_transfer_log_records_and_composes():
+    log = TransferLog()
+    log.record("mobile_code", 800, "up")
+    log.record("file_param", 150, "up")
+    log.record("control", 50, "up")
+    log.record("result", 10, "down")
+    assert log.total("up") == 1000
+    assert log.total("down") == 10
+    comp = log.composition("up")
+    assert comp["mobile_code"] == pytest.approx(0.8)
+    assert sum(comp.values()) == pytest.approx(1.0)
+
+
+def test_transfer_log_empty_composition():
+    assert TransferLog().composition() == {}
+
+
+def test_transfer_log_merge():
+    a, b = TransferLog(), TransferLog()
+    a.record("control", 10, "up")
+    b.record("control", 20, "up")
+    b.record("result", 5, "down")
+    a.merge(b)
+    assert a.up_bytes["control"] == 30
+    assert a.down_bytes["result"] == 5
+
+
+def test_send_messages_attributes_bytes():
+    env = Environment()
+    link = Link("l", latency_s=0.01, up_bw_bps=100000, down_bw_bps=100000,
+                handshake_rounds=1)
+    log = TransferLog()
+    msgs = [
+        Message(kind="mobile_code", size_bytes=1000),
+        Message(kind="control", size_bytes=100),
+    ]
+
+    def proc(env):
+        elapsed = yield env.process(send_messages(env, link, msgs, "up", log))
+        return elapsed
+
+    elapsed = env.run(until=env.process(proc(env)))
+    assert elapsed == pytest.approx(0.02 + 1100 / 100000)
+    assert log.up_bytes == {"mobile_code": 1000, "control": 100}
+
+
+def test_shared_medium_serializes_transmissions():
+    env = Environment()
+    link = Link("ap", latency_s=0.0, up_bw_bps=1000, down_bw_bps=1000,
+                handshake_rounds=1, shared_medium=True)
+    finish = []
+
+    def send(env, i):
+        yield env.process(link.transmit(env, 1000, "up"))
+        finish.append((i, env.now))
+
+    env.process(send(env, 0))
+    env.process(send(env, 1))
+    env.run()
+    times = sorted(t for _, t in finish)
+    assert times[0] == pytest.approx(1.0)
+    assert times[1] == pytest.approx(2.0)  # had to wait for the channel
+
+
+def test_unshared_medium_overlaps_transmissions():
+    env = Environment()
+    link = Link("p2p", latency_s=0.0, up_bw_bps=1000, down_bw_bps=1000,
+                handshake_rounds=1)
+    finish = []
+
+    def send(env, i):
+        yield env.process(link.transmit(env, 1000, "up"))
+        finish.append(env.now)
+
+    env.process(send(env, 0))
+    env.process(send(env, 1))
+    env.run()
+    assert all(t == pytest.approx(1.0) for t in finish)

@@ -1,0 +1,216 @@
+"""Tests for messages, request timelines, power model, device, decisions."""
+
+import pytest
+
+from repro.network import make_link
+from repro.offload import (
+    KB,
+    DecisionEngine,
+    MobileDevice,
+    Message,
+    MessageKind,
+    OffloadRequest,
+    Phase,
+    PhaseTimeline,
+    PowerModel,
+    RequestResult,
+    result_message,
+    upload_messages,
+)
+from repro.sim import Environment
+from repro.workloads import CHESS_GAME, LINPACK, OCR, VIRUS_SCAN
+
+
+# ---------------------------------------------------------------- messages
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(kind="control", size_bytes=-1)
+
+
+def test_upload_messages_with_code():
+    msgs = upload_messages(OCR, include_code=True)
+    kinds = [m.kind for m in msgs]
+    assert kinds == ["mobile_code", "file_param", "control"]
+    total_kb = sum(m.size_bytes for m in msgs) / KB
+    assert total_kb == pytest.approx(1400 + 280 + 2, abs=0.01)
+
+
+def test_upload_messages_cached_code():
+    msgs = upload_messages(OCR, include_code=False)
+    assert [m.kind for m in msgs] == ["file_param", "control"]
+
+
+def test_upload_messages_no_files_for_pure_compute():
+    # Linpack/Chess transfer no files: file_param carries params only.
+    msgs = upload_messages(LINPACK, include_code=False)
+    fp = next(m for m in msgs if m.kind == "file_param")
+    assert fp.size_bytes == int(0.25 * KB)
+
+
+def test_result_message_kind_and_size():
+    msg = result_message(VIRUS_SCAN)
+    assert msg.kind == MessageKind.RESULT.value
+    assert msg.size_bytes == int(17.4 * KB)
+
+
+# --------------------------------------------------------------- timelines
+def test_phase_timeline_accumulates():
+    tl = PhaseTimeline()
+    tl.add(Phase.CONNECTION, 0.1)
+    tl.add(Phase.TRANSFER, 0.5)
+    tl.add(Phase.TRANSFER, 0.25)
+    assert tl.get(Phase.TRANSFER) == pytest.approx(0.75)
+    assert tl.total == pytest.approx(0.85)
+    assert set(tl.as_dict()) == {p.value for p in Phase}
+
+
+def test_phase_timeline_rejects_negative():
+    with pytest.raises(ValueError):
+        PhaseTimeline().add(Phase.EXECUTION, -0.1)
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        OffloadRequest(request_id=-1, device_id="d", app_id="a", profile=OCR)
+
+
+def _result(profile, response_s, bytes_up=1000, bytes_down=100, phases=None):
+    tl = PhaseTimeline()
+    for phase, dur in (phases or {(Phase.EXECUTION): response_s}).items():
+        tl.add(phase, dur)
+    req = OffloadRequest(request_id=0, device_id="d0", app_id=profile.name, profile=profile)
+    return RequestResult(
+        request=req,
+        timeline=tl,
+        started_at=0.0,
+        finished_at=response_s,
+        bytes_up=bytes_up,
+        bytes_down=bytes_down,
+    )
+
+
+def test_speedup_and_failure_semantics():
+    fast = _result(CHESS_GAME, response_s=1.0)  # local 4.0 -> speedup 4
+    assert fast.speedup == pytest.approx(4.0)
+    assert not fast.offloading_failure
+    slow = _result(CHESS_GAME, response_s=8.0)
+    assert slow.speedup == pytest.approx(0.5)
+    assert slow.offloading_failure
+
+
+# ------------------------------------------------------------------- power
+def test_power_model_validation():
+    with pytest.raises(ValueError):
+        PowerModel(cpu_active_watts=0)
+    with pytest.raises(KeyError):
+        PowerModel().radio("5g")
+
+
+def test_local_energy_is_cpu_time_times_power():
+    pm = PowerModel(cpu_active_watts=0.9)
+    assert pm.local_energy(LINPACK).total_j == pytest.approx(12.0 * 0.9)
+
+
+def test_offload_energy_components():
+    pm = PowerModel(idle_watts=0.25)
+    phases = {
+        Phase.CONNECTION: 0.1,
+        Phase.PREPARATION: 1.0,
+        Phase.TRANSFER: 2.0,
+        Phase.EXECUTION: 3.0,
+    }
+    res = _result(OCR, response_s=6.1, bytes_up=3000, bytes_down=1000, phases=phases)
+    e = pm.offload_energy(res, "lan-wifi")
+    radio = pm.radio("lan-wifi")
+    # Upload gets 3/4 of transfer time, download 1/4.
+    assert e.tx_j == pytest.approx(1.5 * radio.tx_watts)
+    assert e.rx_j == pytest.approx(0.5 * radio.rx_watts)
+    assert e.idle_j == pytest.approx(4.1 * 0.25)
+    assert e.tail_j == pytest.approx(radio.tail_seconds * radio.tail_watts)
+    assert e.total_j == pytest.approx(e.tx_j + e.rx_j + e.idle_j + e.tail_j)
+
+
+def test_offload_energy_zero_bytes_no_radio_activity():
+    pm = PowerModel()
+    res = _result(LINPACK, response_s=1.0, bytes_up=0, bytes_down=0,
+                  phases={Phase.TRANSFER: 0.5, Phase.EXECUTION: 0.5})
+    e = pm.offload_energy(res, "4g")
+    assert e.tx_j == 0.0 and e.rx_j == 0.0
+
+
+def test_3g_tail_energy_dominates_wifi():
+    pm = PowerModel()
+    res = _result(CHESS_GAME, response_s=1.0)
+    assert (
+        pm.offload_energy(res, "3g").tail_j
+        > pm.offload_energy(res, "lan-wifi").tail_j * 3
+    )
+
+
+def test_normalized_energy_below_one_for_good_offload():
+    pm = PowerModel()
+    phases = {Phase.EXECUTION: 0.9, Phase.TRANSFER: 0.05}
+    res = _result(LINPACK, response_s=1.0, phases=phases)
+    assert pm.normalized_offload_energy(res, "lan-wifi") < 1.0
+
+
+# ------------------------------------------------------------------ device
+def test_device_battery_accounting():
+    env = Environment()
+    dev = MobileDevice("d0", make_link("lan-wifi"), battery_joules=100.0)
+    energy = env.run(until=env.process(dev.execute_locally(env, CHESS_GAME)))
+    assert env.now == pytest.approx(4.0)
+    assert dev.energy_used_j == pytest.approx(energy.total_j)
+    assert dev.local_executions == 1
+    assert 0 < dev.battery_remaining_fraction < 1
+
+
+def test_device_offload_accounting():
+    dev = MobileDevice("d0", make_link("3g"))
+    res = _result(CHESS_GAME, response_s=1.0)
+    e = dev.account_offload(res)
+    assert dev.offloaded_requests == 1
+    assert dev.energy_used_j == pytest.approx(e.total_j)
+
+
+def test_device_validation():
+    with pytest.raises(ValueError):
+        MobileDevice("d", make_link("lan-wifi"), battery_joules=0)
+
+
+# --------------------------------------------------------------- decisions
+def test_decision_engine_estimate_components():
+    eng = DecisionEngine()
+    link = make_link("lan-wifi")
+    est = eng.estimate(LINPACK, link, expected_preparation_s=0.0, code_cached=True)
+    assert est.execution_s == pytest.approx(LINPACK.cloud_cpu_s)
+    assert est.predicted_speedup > 1.0
+    assert est.response_s == pytest.approx(
+        est.connection_s + est.preparation_s + est.transfer_s + est.execution_s
+    )
+
+
+def test_decision_cold_start_can_flip_decision():
+    eng = DecisionEngine()
+    link = make_link("lan-wifi")
+    # Chess local = 4 s; a 28.72 s VM boot makes offloading a loser.
+    assert eng.should_offload(CHESS_GAME, link, expected_preparation_s=0.0)
+    assert not eng.should_offload(CHESS_GAME, link, expected_preparation_s=28.72)
+    # Rattrap's 1.75 s boot keeps it profitable.
+    assert eng.should_offload(CHESS_GAME, link, expected_preparation_s=1.75,
+                              code_cached=False)
+
+
+def test_decision_3g_discourages_file_heavy_offload():
+    eng = DecisionEngine()
+    # VirusScan ships ~900 KB per request; on 3G's 0.38 Mbps uplink the
+    # transfer alone exceeds the 13.2 s local time.
+    assert not eng.should_offload(VIRUS_SCAN, make_link("3g"))
+    assert eng.should_offload(VIRUS_SCAN, make_link("lan-wifi"))
+
+
+def test_decision_validation():
+    with pytest.raises(ValueError):
+        DecisionEngine(speedup_threshold=0)
+    with pytest.raises(ValueError):
+        DecisionEngine().estimate(OCR, make_link("4g"), -1.0, True)

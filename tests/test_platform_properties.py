@@ -1,0 +1,78 @@
+"""Property-based invariants of the platform request lifecycle.
+
+These hold for any seed and any workload: the bookkeeping the whole
+evaluation rests on must be internally consistent.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import make_link
+from repro.offload import Phase, run_inflow_experiment
+from repro.platform import RattrapPlatform, VMCloudPlatform
+from repro.sim import Environment
+from repro.workloads import ALL_WORKLOADS, generate_inflow
+
+KB = 1024
+
+
+def _run(platform_name, profile, seed, devices=2, per_device=3):
+    env = Environment()
+    platform = (
+        VMCloudPlatform(env) if platform_name == "vm" else RattrapPlatform(env)
+    )
+    plans = generate_inflow(profile, devices=devices, requests_per_device=per_device,
+                            seed=seed)
+    results = run_inflow_experiment(env, platform, plans, make_link("lan-wifi"))
+    return platform, results
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(ALL_WORKLOADS), st.integers(0, 50),
+       st.sampled_from(["vm", "rattrap"]))
+def test_response_equals_phase_sum(profile, seed, platform_name):
+    _, results = _run(platform_name, profile, seed)
+    for r in results:
+        assert r.response_time == pytest.approx(r.timeline.total, rel=1e-9)
+        for phase in Phase:
+            assert r.phase(phase) >= 0.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from(ALL_WORKLOADS), st.integers(0, 50))
+def test_table2_identity_for_any_seed(profile, seed):
+    """Rattrap upload == VM upload - (devices-1) x code size, always."""
+    devices, per_device = 3, 4
+    _, vm_results = _run("vm", profile, seed, devices, per_device)
+    _, rt_results = _run("rattrap", profile, seed, devices, per_device)
+    vm_up = sum(r.bytes_up for r in vm_results)
+    rt_up = sum(r.bytes_up for r in rt_results)
+    code = int(profile.code_size_kb * KB)
+    assert vm_up - rt_up == (devices - 1) * code
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.sampled_from(ALL_WORKLOADS), st.integers(0, 50))
+def test_scheduler_and_resources_settle(profile, seed):
+    platform, results = _run("rattrap", profile, seed)
+    assert platform.scheduler.active_requests == 0
+    assert all(rec.active_requests == 0 for rec in platform.db.all_records())
+    # Burn-after-reading leaves the in-memory layer empty.
+    assert platform.shared_layer.offload_io.resident_bytes == 0
+    # Every served request has a CID that exists in the DB.
+    for r in results:
+        assert platform.db.exists(r.executed_on)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 50))
+def test_same_seed_same_results(seed):
+    """Full determinism: identical seeds give identical timings."""
+    from repro.workloads import CHESS_GAME
+
+    _, a = _run("rattrap", CHESS_GAME, seed)
+    _, b = _run("rattrap", CHESS_GAME, seed)
+    assert [(r.started_at, r.finished_at, r.bytes_up) for r in a] == [
+        (r.started_at, r.finished_at, r.bytes_up) for r in b
+    ]

@@ -1,0 +1,124 @@
+"""Tests for the QoS controller and the density experiment."""
+
+import pytest
+
+from repro.network import make_link
+from repro.offload import OffloadRequest
+from repro.platform import ClusterPlatform, QoSController
+from repro.sim import Environment
+from repro.workloads import CHESS_GAME, LINPACK
+
+
+def test_controller_validation():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2)
+    with pytest.raises(ValueError):
+        QoSController(cluster, check_interval_s=0)
+    with pytest.raises(ValueError):
+        QoSController(cluster, imbalance_threshold=0)
+    with pytest.raises(ValueError):
+        QoSController(cluster, max_migrations_per_check=0)
+
+
+def test_no_rebalance_when_balanced():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2)
+    controller = QoSController(cluster)
+    migrated = env.run(until=env.process(controller.rebalance_once()))
+    assert migrated == 0
+    assert controller.actions == []
+
+
+def _warm_node(env, cluster, node_idx, devices):
+    """Route some devices onto one node and serve a request for each."""
+    link = make_link("lan-wifi")
+    node = cluster.nodes[node_idx]
+    for i, dev in enumerate(devices):
+        cluster.routed[dev] = node_idx
+        env.run(until=node.submit(
+            OffloadRequest(100 + i, dev, "chess", CHESS_GAME), link))
+    return link
+
+
+def test_rebalance_migrates_idle_runtime_to_cool_node():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2, policy="device-sticky")
+    link = _warm_node(env, cluster, 0, ["d0", "d1", "d2"])
+    # Pile in-flight load on node 0 so it reads hot at the check.
+    hot = cluster.nodes[0]
+    in_flight = [
+        hot.submit(OffloadRequest(200 + i, f"d{i}", "chess", CHESS_GAME,
+                                  seq_on_device=9), link)
+        for i in range(3)
+    ]
+    controller = QoSController(cluster, imbalance_threshold=2)
+
+    def check(env):
+        yield env.timeout(0.5)  # mid-flight: node 0 busy, node 1 idle
+        migrated = yield env.process(controller.rebalance_once())
+        return migrated
+
+    migrated = env.run(until=env.process(check(env)))
+    # No idle runtime was available mid-flight (all three are serving) —
+    # the controller must skip rather than disrupt.
+    env.run()
+    assert migrated in (0, 1, 2, 3)
+    assert all(a.report or a.skipped_reason for a in controller.actions)
+
+
+def test_rebalance_moves_idle_runtime_and_reroutes_device():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2, policy="device-sticky")
+    link = _warm_node(env, cluster, 0, ["d0", "d1", "d2"])
+    hot = cluster.nodes[0]
+    # Keep two runtimes busy; d2's runtime is idle and migratable.
+    busy = [
+        hot.submit(OffloadRequest(300 + i, f"d{i}", "chess", CHESS_GAME,
+                                  seq_on_device=9), link)
+        for i in range(2)
+    ]
+    controller = QoSController(cluster, imbalance_threshold=2)
+
+    def check(env):
+        yield env.timeout(0.5)
+        migrated = yield env.process(controller.rebalance_once())
+        return migrated
+
+    migrated = env.run(until=env.process(check(env)))
+    env.run()
+    assert migrated == 1
+    report = controller.migrations[0]
+    assert report.kind == "cloud-android-container"
+    # The migrated device now routes to the cool node.
+    assert cluster.routed[
+        cluster.nodes[1].db.get(report.new_cid).owner_device] == 1
+    # And its next request is served there, warm.
+    dev = cluster.nodes[1].db.get(report.new_cid).owner_device
+    result = env.run(until=cluster.submit(
+        OffloadRequest(400, dev, "chess", CHESS_GAME, seq_on_device=10), link))
+    assert result.executed_on == report.new_cid
+
+
+def test_controller_background_loop_runs():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2)
+    controller = QoSController(cluster, check_interval_s=5.0)
+    controller.start()
+    env.run(until=30.0)  # several checks on an idle cluster: no actions
+    assert controller.actions == []
+
+
+def test_density_experiment_shape():
+    from repro.experiments import density
+
+    data = density.run()
+    vm_steps = data["vm"]
+    rt_steps = data["rattrap"]
+    # VM hits OOM at some step; Rattrap survives every tested step.
+    assert any(not s["served"] for s in vm_steps)
+    assert all(s["served"] for s in rt_steps)
+    vm_max = max(s["tenants"] for s in vm_steps if s["served"])
+    rt_max = max(s["tenants"] for s in rt_steps if s["served"])
+    assert rt_max >= 4 * vm_max
+    text = density.report(data)
+    assert "OOM" in text and "tenants" in text

@@ -1,0 +1,169 @@
+"""Tests for the container-image registry and lazy/eager pulls."""
+
+import pytest
+
+from repro.hostos import CloudServer
+from repro.platform import (
+    ContainerImage,
+    ImageLayer,
+    ImagePuller,
+    ImageRegistry,
+    SLACKER_STARTUP_FRACTION,
+    cac_image,
+)
+from repro.sim import Environment
+
+MB = 1024 * 1024
+
+
+def _image(name="app", tag="v1", sizes=(100 * MB, 10 * MB)):
+    layers = tuple(
+        ImageLayer(digest=f"sha256:{name}-{i}", size_bytes=s, description=f"layer {i}")
+        for i, s in enumerate(sizes)
+    )
+    return ContainerImage(name, tag, layers)
+
+
+# ------------------------------------------------------------------- models
+def test_layer_validation():
+    with pytest.raises(ValueError):
+        ImageLayer(digest="", size_bytes=1)
+    with pytest.raises(ValueError):
+        ImageLayer(digest="d", size_bytes=-1)
+
+
+def test_image_validation():
+    with pytest.raises(ValueError):
+        ContainerImage("x", "v1", ())
+    layer = ImageLayer("sha256:a", 10)
+    with pytest.raises(ValueError):
+        ContainerImage("x", "v1", (layer, layer))
+
+
+def test_image_totals_and_reference():
+    img = _image()
+    assert img.reference == "app:v1"
+    assert img.total_bytes == 110 * MB
+
+
+def test_cac_images_match_table1_scale():
+    opt = cac_image(optimized=True)
+    non = cac_image(optimized=False)
+    assert opt.total_bytes < 300 * MB
+    assert non.total_bytes > 1000 * MB
+    # Both variants share the offload-agent layer (content addressing).
+    opt_digests = {l.digest for l in opt.layers}
+    non_digests = {l.digest for l in non.layers}
+    assert opt_digests & non_digests
+
+
+# ----------------------------------------------------------------- registry
+def test_registry_push_and_manifest():
+    reg = ImageRegistry()
+    img = _image()
+    reg.push(img)
+    assert reg.has_image("app:v1")
+    assert reg.manifest("app:v1") is img
+    assert reg.images() == ["app:v1"]
+    with pytest.raises(ValueError):
+        reg.push(img)
+    with pytest.raises(KeyError):
+        reg.manifest("ghost:v9")
+
+
+def test_registry_dedups_shared_layers():
+    reg = ImageRegistry()
+    shared = ImageLayer("sha256:base", 200 * MB)
+    reg.push(ContainerImage("a", "v1", (shared, ImageLayer("sha256:a1", 5 * MB))))
+    reg.push(ContainerImage("b", "v1", (shared, ImageLayer("sha256:b1", 7 * MB))))
+    assert reg.stored_bytes == (200 + 5 + 7) * MB
+
+
+def test_registry_digest_collision_rejected():
+    reg = ImageRegistry()
+    reg.push(ContainerImage("a", "v1", (ImageLayer("sha256:x", 10),)))
+    with pytest.raises(ValueError, match="collision"):
+        reg.push(ContainerImage("b", "v1", (ImageLayer("sha256:x", 20),)))
+
+
+# -------------------------------------------------------------------- pulls
+def _setup():
+    env = Environment()
+    server = CloudServer(env)
+    reg = ImageRegistry()
+    reg.push(cac_image(optimized=True))
+    reg.push(cac_image(optimized=False))
+    puller = ImagePuller(server, reg, backbone_bw_mbps=1000.0)
+    return env, server, reg, puller
+
+
+def test_eager_pull_fetches_everything():
+    env, server, reg, puller = _setup()
+    report = env.run(until=env.process(puller.pull("rattrap/cac:optimized")))
+    img = reg.manifest("rattrap/cac:optimized")
+    assert report.fetched_bytes == img.total_bytes
+    assert report.deduplicated_bytes == 0
+    assert report.time_to_ready_s > 1.0  # ~281 MB over 1 Gbps + disk write
+    assert server.disk.bytes_stored == img.total_bytes
+
+
+def test_second_pull_deduplicates():
+    env, server, reg, puller = _setup()
+    env.run(until=env.process(puller.pull("rattrap/cac:optimized")))
+    report = env.run(until=env.process(puller.pull("rattrap/cac:optimized")))
+    assert report.fetched_bytes == 0
+    assert report.deduplicated_bytes == reg.manifest("rattrap/cac:optimized").total_bytes
+    assert report.time_to_ready_s == pytest.approx(0.0)
+
+
+def test_cross_image_layer_dedup():
+    env, server, reg, puller = _setup()
+    env.run(until=env.process(puller.pull("rattrap/cac:non-optimized")))
+    report = env.run(until=env.process(puller.pull("rattrap/cac:optimized")))
+    # The shared offload-agent layer is already local.
+    assert report.deduplicated_bytes > 0
+
+
+def test_lazy_pull_ready_much_sooner():
+    env1, _, _, eager = _setup()
+    eager_report = env1.run(until=env1.process(
+        eager.pull("rattrap/cac:non-optimized", mode="eager")))
+    env2, server2, _, lazy = _setup()
+    lazy_report = env2.run(until=env2.process(
+        lazy.pull("rattrap/cac:non-optimized", mode="lazy")))
+    # Slacker claim: ready after ~6.4 % of the bytes.
+    assert lazy_report.time_to_ready_s < eager_report.time_to_ready_s * 0.2
+    assert lazy_report.fetched_bytes == pytest.approx(
+        eager_report.fetched_bytes * SLACKER_STARTUP_FRACTION, rel=0.01
+    )
+    # The background stream eventually lands the rest on disk.
+    env2.run()
+    total = lazy_report.fetched_bytes + lazy_report.background_bytes
+    assert server2.disk.bytes_stored >= total
+
+
+def test_lazy_pull_registers_layers_after_background():
+    env, server, reg, puller = _setup()
+    report = env.run(until=env.process(
+        puller.pull("rattrap/cac:optimized", mode="lazy")))
+    assert report.background_bytes > 0
+    env.run()  # let the background fetch finish
+    img = reg.manifest("rattrap/cac:optimized")
+    assert all(puller.has_layer(l.digest) for l in img.layers)
+
+
+def test_pull_validation():
+    env, server, reg, puller = _setup()
+    with pytest.raises(ValueError):
+        env.run(until=env.process(puller.pull("rattrap/cac:optimized", mode="warp")))
+    with pytest.raises(ValueError):
+        env.run(until=env.process(
+            puller.pull("rattrap/cac:optimized", startup_fraction=0.0, mode="lazy")))
+    with pytest.raises(ValueError):
+        ImagePuller(server, reg, backbone_bw_mbps=0)
+
+
+def test_pull_counts():
+    env, server, reg, puller = _setup()
+    env.run(until=env.process(puller.pull("rattrap/cac:optimized")))
+    assert reg.pull_count == 1

@@ -1,0 +1,208 @@
+"""Tests for the runtime environments (AndroidVM, CloudAndroidContainer)."""
+
+import pytest
+
+from repro.android import customize_os, build_android_image
+from repro.hostos import CloudServer
+from repro.runtime import (
+    CAC_MEMORY_MB,
+    CAC_NONOPT_DISK_BYTES,
+    CAC_NONOPT_MEMORY_MB,
+    CAC_PRIVATE_BYTES,
+    AndroidVM,
+    CloudAndroidContainer,
+    RuntimeError_,
+    RuntimeState,
+    VM_DISK_BYTES,
+    VM_MEMORY_MB,
+)
+from repro.sim import Environment
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def server():
+    env = Environment()
+    return CloudServer(env)
+
+
+@pytest.fixture
+def android_server():
+    env = Environment()
+    server = CloudServer(env)
+    env.run(until=server.load_android_driver())
+    return server
+
+
+@pytest.fixture(scope="module")
+def shared_base():
+    return customize_os(build_android_image()).base_layer
+
+
+# ------------------------------------------------------------------- VM
+def test_vm_table1_footprints(server):
+    vm = AndroidVM(server, "vm-1")
+    assert vm.memory_mb == 512.0
+    assert vm.disk_bytes == pytest.approx(1126.4 * MB, abs=1)
+    assert vm.cpu_speed_factor < 1.0
+    assert vm.io_overhead > 1.0
+
+
+def test_vm_boot_reserves_resources(server):
+    env = server.env
+    vm = AndroidVM(server, "vm-1")
+    assert vm.state is RuntimeState.CREATED
+    env.run(until=env.process(vm.boot()))
+    assert vm.state is RuntimeState.READY
+    assert vm.setup_time == pytest.approx(28.72, rel=0.02)
+    assert server.memory.reserved_mb == 512.0
+    assert server.disk.bytes_stored == VM_DISK_BYTES
+    vm.stop()
+    assert server.memory.reserved_mb == 0
+    assert server.disk.bytes_stored == 0
+
+
+def test_vm_offload_io_is_exclusive_hdd(server):
+    vm = AndroidVM(server, "vm-1")
+    assert vm.offload_io_device() is server.disk
+    assert vm.offload_io_overhead() == pytest.approx(1.6)
+
+
+def test_runtime_lifecycle_violations(server):
+    env = server.env
+    vm = AndroidVM(server, "vm-1")
+    env.run(until=env.process(vm.boot()))
+    # Booting twice is rejected.
+    with pytest.raises(RuntimeError_):
+        env.run(until=env.process(vm.boot()))
+    vm.stop()
+    with pytest.raises(RuntimeError_):
+        vm.stop()
+
+
+def test_runtime_stop_before_boot_is_clean(server):
+    # A CREATED runtime holds no resources; stopping it is a no-op
+    # transition and booting afterwards is rejected.
+    env = server.env
+    vm = AndroidVM(server, "vm-1")
+    vm.stop()
+    assert vm.state is RuntimeState.STOPPED
+    assert server.memory.reserved_mb == 0
+    with pytest.raises(RuntimeError_):
+        env.run(until=env.process(vm.boot()))
+
+
+def test_runtime_code_residency(server):
+    vm = AndroidVM(server, "vm-1")
+    assert not vm.has_app("ocr")
+    vm.mark_loaded("ocr")
+    assert vm.has_app("ocr")
+
+
+# ------------------------------------------------------------ containers
+def test_container_requires_android_kernel(server, shared_base):
+    with pytest.raises(RuntimeError_, match="Android Container Driver"):
+        CloudAndroidContainer(server, "cac-1", optimized=True, shared_base=shared_base)
+
+
+def test_optimized_container_requires_shared_base(android_server):
+    with pytest.raises(ValueError, match="Shared Resource Layer"):
+        CloudAndroidContainer(android_server, "cac-1", optimized=True)
+
+
+def test_container_table1_footprints(android_server, shared_base):
+    opt = CloudAndroidContainer(
+        android_server, "cac-1", optimized=True, shared_base=shared_base
+    )
+    assert opt.memory_mb == CAC_MEMORY_MB == 96.0
+    assert opt.disk_bytes == CAC_PRIVATE_BYTES == int(7.1 * MB)
+    non = CloudAndroidContainer(android_server, "cac-2", optimized=False)
+    assert non.memory_mb == CAC_NONOPT_MEMORY_MB == 128.0
+    assert non.disk_bytes == CAC_NONOPT_DISK_BYTES == int(1045 * MB)
+
+
+def test_container_boot_times(android_server, shared_base):
+    env = android_server.env
+    opt = CloudAndroidContainer(
+        android_server, "cac-1", optimized=True, shared_base=shared_base
+    )
+    env.run(until=env.process(opt.boot()))
+    assert opt.setup_time == pytest.approx(1.75, rel=0.05)
+    non = CloudAndroidContainer(android_server, "cac-2", optimized=False)
+    env.run(until=env.process(non.boot()))
+    assert non.setup_time == pytest.approx(6.80, rel=0.05)
+
+
+def test_container_near_native_cpu_and_io(android_server, shared_base):
+    cac = CloudAndroidContainer(
+        android_server, "cac-1", optimized=True, shared_base=shared_base
+    )
+    assert cac.cpu_speed_factor == 1.0
+    assert cac.offload_io_overhead() == 1.0
+
+
+def test_optimized_container_uses_tmpfs_for_offload_io(android_server, shared_base):
+    opt = CloudAndroidContainer(
+        android_server, "cac-1", optimized=True, shared_base=shared_base
+    )
+    assert opt.offload_io_device() is android_server.tmpfs
+    non = CloudAndroidContainer(android_server, "cac-2", optimized=False)
+    assert non.offload_io_device() is android_server.disk
+
+
+def test_container_refs_driver_modules(android_server, shared_base):
+    env = android_server.env
+    cac = CloudAndroidContainer(
+        android_server, "cac-1", optimized=True, shared_base=shared_base
+    )
+    env.run(until=env.process(cac.boot()))
+    assert android_server.kernel.get_module("binder_linux").refcount == 1
+    # Running container pins the modules.
+    assert android_server.unload_android_driver() == []
+    cac.stop()
+    assert android_server.kernel.get_module("binder_linux").refcount == 0
+    removed = android_server.unload_android_driver()
+    assert "binder_linux" in removed
+
+
+def test_container_device_namespace_lifecycle(android_server, shared_base):
+    env = android_server.env
+    cac = CloudAndroidContainer(
+        android_server, "cac-1", optimized=True, shared_base=shared_base
+    )
+    env.run(until=env.process(cac.boot()))
+    assert cac.device_namespace is not None
+    assert "/dev/binder" in cac.device_namespace.open_paths()
+    cac.binder_transaction()
+    assert cac.device_namespace.state_of("/dev/binder").ioctl_count == 1
+    cac.stop()
+    assert cac.device_namespace is None
+
+
+def test_container_binder_isolated_between_containers(android_server, shared_base):
+    env = android_server.env
+    c1 = CloudAndroidContainer(android_server, "c1", optimized=True, shared_base=shared_base)
+    c2 = CloudAndroidContainer(android_server, "c2", optimized=True, shared_base=shared_base)
+    env.run(until=env.all_of([env.process(c1.boot()), env.process(c2.boot())]))
+    c1.binder_transaction()
+    c1.binder_transaction()
+    assert c1.device_namespace.state_of("/dev/binder").ioctl_count == 2
+    assert c2.device_namespace.state_of("/dev/binder").ioctl_count == 0
+
+
+def test_container_rootfs_shares_base_layer(android_server, shared_base):
+    c1 = CloudAndroidContainer(android_server, "c1", optimized=True, shared_base=shared_base)
+    c2 = CloudAndroidContainer(android_server, "c2", optimized=True, shared_base=shared_base)
+    # Both resolve the same physical file from the shared layer.
+    path = shared_base.paths()[0]
+    assert c1.rootfs.resolve(path) is c2.rootfs.resolve(path)
+    # Writes stay private (COW).
+    c1.rootfs.write("/data/local.prop", 100)
+    assert not c2.rootfs.exists("/data/local.prop")
+
+
+def test_memory_density_vm_vs_container(android_server, shared_base):
+    env = android_server.env
+    # Table I implication: 75 % memory saved -> >4x more containers fit.
+    assert int(16 * 1024 / VM_MEMORY_MB) * 4 <= int(16 * 1024 / CAC_MEMORY_MB) + 1

@@ -1,0 +1,400 @@
+"""Unit tests for the discrete-event simulation kernel (events, core, process)."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Event,
+    EventState,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_clock_custom_initial_time():
+    assert Environment(initial_time=5.5).now == 5.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.25)
+    env.run()
+    assert env.now == 3.25
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1.0, value="payload")
+        return got
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "payload"
+
+
+def test_run_until_time_stops_at_horizon():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+        return 42
+
+    assert env.run(until=env.process(proc(env))) == 42
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return "done"
+
+    p = env.process(proc(env))
+    env.run()
+    assert env.run(until=p) == "done"
+
+
+def test_simultaneous_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_lifecycle_states():
+    env = Environment()
+    ev = env.event()
+    assert ev.state is EventState.PENDING
+    assert not ev.triggered
+    ev.succeed("v")
+    assert ev.state is EventState.TRIGGERED
+    env.run()
+    assert ev.state is EventState.PROCESSED
+    assert ev.value == "v"
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_pending_event_value_undefined():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_failed_event_raises_in_waiting_process():
+    env = Environment()
+
+    def proc(env, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return f"caught:{exc}"
+
+    ev = env.event()
+    p = env.process(proc(env, ev))
+    ev.fail(RuntimeError("boom"))
+    assert env.run(until=p) == "caught:boom"
+
+
+def test_unhandled_failed_event_crashes_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("unhandled"))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_defused_failed_event_is_silent():
+    env = Environment()
+    ev = env.event()
+    ev.defused = True
+    ev.fail(RuntimeError("quiet"))
+    env.run()  # no raise
+
+
+def test_callback_after_processing_runs_immediately():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("late")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["late"]
+
+
+def test_all_of_waits_for_every_child():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(3, value="b")
+        results = yield env.all_of([t1, t2])
+        return (env.now, sorted(results.values()))
+
+    assert env.run(until=env.process(proc(env))) == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first_child():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(9, value="slow")
+        results = yield env.any_of([t1, t2])
+        return (env.now, list(results.values()))
+
+    assert env.run(until=env.process(proc(env))) == (1.0, ["fast"])
+
+
+def test_all_of_empty_succeeds_immediately():
+    env = Environment()
+
+    def proc(env):
+        res = yield env.all_of([])
+        return res
+
+    assert env.run(until=env.process(proc(env))) == {}
+
+
+def test_condition_propagates_child_failure():
+    env = Environment()
+
+    def proc(env):
+        bad = env.event()
+        bad.fail(ValueError("child died"))
+        try:
+            yield env.all_of([bad, env.timeout(5)])
+        except ValueError as exc:
+            return str(exc)
+
+    assert env.run(until=env.process(proc(env))) == "child died"
+
+
+def test_mixing_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    t = env2.timeout(1)
+    with pytest.raises(SimulationError):
+        env1.all_of([t])
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return {"answer": 42}
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {"answer": 42}
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1)
+        raise KeyError("inner")
+
+    def waiter(env, p):
+        try:
+            yield p
+        except KeyError:
+            return "saw it"
+
+    p = env.process(failing(env))
+    w = env.process(waiter(env, p))
+    assert env.run(until=w) == "saw it"
+
+
+def test_process_chain_composes():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(2)
+        return 10
+
+    def outer(env):
+        v = yield env.process(inner(env))
+        yield env.timeout(1)
+        return v + 1
+
+    assert env.run(until=env.process(outer(env))) == 11
+    assert env.now == 3.0
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            return ("interrupted", exc.cause, env.now)
+
+    def killer(env, victim):
+        yield env.timeout(5)
+        victim.interrupt("teardown")
+
+    p = env.process(sleeper(env))
+    env.process(killer(env, p))
+    assert env.run(until=p) == ("interrupted", "teardown", 5.0)
+
+
+def test_interrupt_detaches_from_target():
+    env = Environment()
+    resumed = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10)
+            resumed.append("timeout fired into process")
+        except Interrupt:
+            yield env.timeout(1)  # keep living after interrupt
+            return "survived"
+
+    def killer(env, victim):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    p = env.process(sleeper(env))
+    env.process(killer(env, p))
+    assert env.run(until=p) == "survived"
+    env.run()
+    assert resumed == []
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_uncaught_interrupt_fails_process():
+    env = Environment()
+
+    def sleeper(env):
+        yield env.timeout(100)
+
+    def killer(env, victim):
+        yield env.timeout(1)
+        victim.interrupt("die")
+
+    p = env.process(sleeper(env))
+    p.defused = True
+    env.process(killer(env, p))
+    env.run()
+    assert isinstance(p.exception, Interrupt)
+
+
+def test_yield_non_event_surfaces_error():
+    env = Environment()
+
+    def bad(env):
+        try:
+            yield 42  # type: ignore[misc]
+        except SimulationError as exc:
+            return f"error:{type(exc).__name__}"
+
+    assert env.run(until=env.process(bad(env))).startswith("error:")
+
+
+def test_is_alive_tracks_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_defer_runs_callable():
+    env = Environment()
+    hits = []
+    env.defer(lambda: hits.append(env.now), delay=2.5)
+    env.run()
+    assert hits == [2.5]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_many_processes_scale():
+    env = Environment()
+    done = []
+
+    def proc(env, i):
+        yield env.timeout(i * 0.001)
+        done.append(i)
+
+    for i in range(1000):
+        env.process(proc(env, i))
+    env.run()
+    assert len(done) == 1000
+    assert done == sorted(done)

@@ -1,0 +1,151 @@
+"""Tests for LiveLab-style trace generation and replay."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import build_platform
+from repro.network import make_link
+from repro.sim import Environment
+from repro.traces import (
+    AccessTrace,
+    LiveLabConfig,
+    TraceRecord,
+    generate_livelab_trace,
+    replay_trace,
+    trace_to_plans,
+)
+from repro.workloads import CHESS_GAME, LINPACK
+
+
+# ------------------------------------------------------------------ records
+def test_trace_record_validation():
+    with pytest.raises(ValueError):
+        TraceRecord(time_s=-1.0, user_id="u", app_id="a", session_id=1)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LiveLabConfig(users=0)
+    with pytest.raises(ValueError):
+        LiveLabConfig(days=0)
+    with pytest.raises(ValueError):
+        LiveLabConfig(think_mean_s=0)
+
+
+# --------------------------------------------------------------- generation
+def test_generation_deterministic():
+    a = generate_livelab_trace(seed=4)
+    b = generate_livelab_trace(seed=4)
+    assert [(r.time_s, r.user_id) for r in a] == [(r.time_s, r.user_id) for r in b]
+
+
+def test_generation_seed_sensitivity():
+    a = generate_livelab_trace(seed=1)
+    b = generate_livelab_trace(seed=2)
+    assert [r.time_s for r in a] != [r.time_s for r in b]
+
+
+def test_generation_respects_user_count():
+    trace = generate_livelab_trace(LiveLabConfig(users=3), seed=0)
+    assert len(trace.users()) == 3
+
+
+def test_generation_multiple_apps():
+    trace = generate_livelab_trace(apps=("chess", "ocr"), seed=0)
+    assert set(trace.apps()) <= {"chess", "ocr"}
+    assert len(trace.apps()) == 2  # both appear in a day of sessions
+
+
+def test_generation_validation():
+    with pytest.raises(ValueError):
+        generate_livelab_trace(apps=())
+    with pytest.raises(ValueError):
+        generate_livelab_trace(LiveLabConfig(diurnal=[1.0] * 10))
+
+
+def test_trace_records_sorted_by_time():
+    trace = generate_livelab_trace(seed=0)
+    times = [r.time_s for r in trace]
+    assert times == sorted(times)
+
+
+def test_trace_sessions_have_bursty_structure():
+    trace = generate_livelab_trace(seed=0)
+    gaps = trace.inter_arrival_times()
+    # Bursty: many short in-session gaps AND some long inter-session gaps.
+    assert np.median(gaps) < 120.0
+    assert gaps.max() > 600.0
+    # Roughly one in ten requests starts a session (mean session ~10).
+    assert 0.05 < trace.session_start_fraction() < 0.25
+
+
+def test_trace_filters():
+    trace = generate_livelab_trace(apps=("chess", "ocr"), seed=3)
+    chess_only = trace.for_app("chess")
+    assert all(r.app_id == "chess" for r in chess_only)
+    u0 = trace.for_user("user-0")
+    assert all(r.user_id == "user-0" for r in u0)
+
+
+# ------------------------------------------------------------------- replay
+def test_trace_to_plans_structure():
+    trace = generate_livelab_trace(seed=5)
+    plans = trace_to_plans(trace, CHESS_GAME, seed=5)
+    assert len(plans) == len(trace)
+    rids = [p.request.request_id for p in plans]
+    assert rids == sorted(set(rids))
+    # Sequence numbers are per-user and increasing.
+    per_user = {}
+    for p in plans:
+        prev = per_user.get(p.device_id, -1)
+        assert p.request.seq_on_device == prev + 1
+        per_user[p.device_id] = p.request.seq_on_device
+
+
+def test_trace_to_plans_work_scale_mean_one():
+    trace = generate_livelab_trace(seed=5)
+    plans = trace_to_plans(trace, CHESS_GAME, work_sigma=0.3, seed=5)
+    scales = np.array([p.request.work_scale for p in plans])
+    assert scales.std() > 0.1
+    assert scales.mean() == pytest.approx(1.0, abs=0.1)
+    flat = trace_to_plans(trace, CHESS_GAME, work_sigma=0.0)
+    assert all(p.request.work_scale == 1.0 for p in flat)
+
+
+def test_trace_to_plans_time_scale():
+    trace = generate_livelab_trace(seed=5)
+    full = trace_to_plans(trace, CHESS_GAME)
+    half = trace_to_plans(trace, CHESS_GAME, time_scale=0.5)
+    assert half[-1].time_s == pytest.approx(full[-1].time_s * 0.5)
+    with pytest.raises(ValueError):
+        trace_to_plans(trace, CHESS_GAME, time_scale=0)
+    with pytest.raises(ValueError):
+        trace_to_plans(trace, CHESS_GAME, work_sigma=-1)
+
+
+def test_replay_trace_reaps_idle_runtimes():
+    trace = generate_livelab_trace(LiveLabConfig(users=2, sessions_per_day=6), seed=9)
+    env = Environment()
+    platform = build_platform(env, "rattrap")
+    plans = trace_to_plans(trace, CHESS_GAME, seed=9)
+    links = {u: make_link("lan-wifi") for u in trace.users()}
+    results = replay_trace(env, platform, plans, links, idle_timeout_s=60.0)
+    assert len(results) == len(plans)
+    # Idle reclamation forced more cold boots than the 2 devices alone.
+    assert platform.dispatcher.cold_boots > 2
+
+
+def test_replay_trace_validation():
+    trace = generate_livelab_trace(seed=0)
+    env = Environment()
+    platform = build_platform(env, "rattrap")
+    plans = trace_to_plans(trace, CHESS_GAME)
+    with pytest.raises(ValueError, match="no link"):
+        replay_trace(env, platform, plans, links={})
+    with pytest.raises(ValueError, match="empty"):
+        replay_trace(env, platform, [], links={})
+
+
+def test_replay_trace_wrong_app_yields_no_plans():
+    trace = generate_livelab_trace(apps=("chess",), seed=0)
+    assert trace_to_plans(trace, LINPACK) == []

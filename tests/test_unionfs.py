@@ -1,0 +1,308 @@
+"""Unit + property tests for the layered COW filesystem substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.unionfs import (
+    FileNode,
+    Layer,
+    LayerError,
+    StorageReport,
+    UnionError,
+    UnionMount,
+    dedup_savings,
+    fleet_usage,
+    normalize_path,
+    split_path,
+)
+
+
+# ------------------------------------------------------------------- inode
+def test_normalize_path():
+    assert normalize_path("/a//b/../c") == "/a/c"
+    assert normalize_path("/a/b/") == "/a/b"
+    with pytest.raises(ValueError):
+        normalize_path("relative/path")
+    with pytest.raises(ValueError):
+        normalize_path("")
+
+
+def test_split_path_ancestors():
+    assert split_path("/system/lib/libc.so") == ["/system", "/system/lib"]
+    assert split_path("/init") == []
+
+
+def test_filenode_validation():
+    with pytest.raises(ValueError):
+        FileNode(path="/x", size=-1)
+    with pytest.raises(ValueError):
+        FileNode(path="/d", is_dir=True, size=5)
+
+
+def test_filenode_touch_and_names():
+    n = FileNode(path="/system/lib/libc.so", size=100)
+    assert n.atime is None
+    n.touch(12.5)
+    assert n.atime == 12.5
+    assert n.name == "libc.so"
+    assert n.parent == "/system/lib"
+
+
+def test_filenode_clone_independent():
+    n = FileNode(path="/x", size=10)
+    c = n.clone()
+    c.touch(1.0)
+    assert n.atime is None
+
+
+# ------------------------------------------------------------------- Layer
+def test_layer_add_and_query():
+    layer = Layer("base")
+    layer.add_file("/system/app/a.apk", 1000, category="app")
+    assert layer.has("/system/app/a.apk")
+    assert layer.get("/system/app/a.apk").size == 1000
+    assert len(layer) == 1
+    assert layer.total_bytes == 1000
+
+
+def test_layer_read_only_enforced():
+    layer = Layer("base").seal()
+    with pytest.raises(LayerError):
+        layer.add_file("/x", 1)
+    with pytest.raises(LayerError):
+        layer.whiteout("/x")
+    with pytest.raises(LayerError):
+        layer.remove("/x")
+
+
+def test_layer_remove_missing_rejected():
+    with pytest.raises(LayerError):
+        Layer("l").remove("/ghost")
+
+
+def test_layer_whiteout_drops_local_copy():
+    layer = Layer("top")
+    layer.add_file("/x", 5)
+    layer.whiteout("/x")
+    assert not layer.has("/x")
+    assert layer.hides("/x")
+    # Re-adding clears the whiteout.
+    layer.add_file("/x", 7)
+    assert not layer.hides("/x")
+
+
+def test_layer_files_under_prefix():
+    layer = Layer("base")
+    layer.add_file("/system/lib/a.so", 10)
+    layer.add_file("/system/lib/b.so", 20)
+    layer.add_file("/data/app/c.apk", 30)
+    assert layer.bytes_under("/system") == 30
+    assert layer.bytes_under("/system/lib") == 30
+    assert layer.bytes_under("/data") == 30
+    assert layer.bytes_under("/vendor") == 0
+
+
+def test_layer_directories_not_counted_in_bytes():
+    layer = Layer("base")
+    layer.add_dir("/system")
+    layer.add_file("/system/f", 10)
+    assert layer.total_bytes == 10
+
+
+def test_layer_by_category():
+    layer = Layer("base")
+    layer.add_file("/a.apk", 1, category="app")
+    layer.add_file("/b.so", 2, category="shared_lib")
+    assert [n.path for n in layer.by_category("app")] == ["/a.apk"]
+
+
+# -------------------------------------------------------------- UnionMount
+@pytest.fixture
+def base_layer():
+    base = Layer("android-base")
+    base.add_file("/system/lib/libc.so", 1000, category="shared_lib")
+    base.add_file("/system/app/browser.apk", 5000, category="app")
+    base.add_file("/init", 100, category="framework")
+    return base.seal()
+
+
+def test_union_needs_writable_top(base_layer):
+    with pytest.raises(UnionError):
+        UnionMount("m", [base_layer])
+    with pytest.raises(UnionError):
+        UnionMount("m", [])
+
+
+def test_union_resolves_through_stack(base_layer):
+    top = Layer("top")
+    m = UnionMount("cac-1", [top, base_layer])
+    assert m.exists("/system/lib/libc.so")
+    assert m.provider("/system/lib/libc.so") is base_layer
+    assert m.resolve("/ghost") is None
+
+
+def test_union_top_shadows_lower(base_layer):
+    top = Layer("top")
+    top.add_file("/init", 200)
+    m = UnionMount("m", [top, base_layer])
+    assert m.resolve("/init").size == 200
+    assert m.provider("/init") is top
+
+
+def test_union_write_new_file_goes_to_top(base_layer):
+    m = UnionMount("m", [Layer("top"), base_layer])
+    m.write("/data/offload/task.bin", 4096, category="offload_data")
+    assert m.top.has("/data/offload/task.bin")
+    assert m.private_bytes() == 4096
+
+
+def test_union_copy_up_preserves_lower(base_layer):
+    m1 = UnionMount("m1", [Layer("t1"), base_layer])
+    m2 = UnionMount("m2", [Layer("t2"), base_layer])
+    m1.write("/system/lib/libc.so", 1234)
+    # m1 sees the modified copy; m2 still sees the shared original.
+    assert m1.resolve("/system/lib/libc.so").size == 1234
+    assert m2.resolve("/system/lib/libc.so").size == 1000
+    assert base_layer.get("/system/lib/libc.so").size == 1000
+
+
+def test_union_copy_up_inherits_category(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    node = m.write("/system/lib/libc.so", 999)
+    assert node.category == "shared_lib"
+
+
+def test_union_write_over_directory_rejected():
+    top = Layer("top")
+    top.add_dir("/data")
+    m = UnionMount("m", [top])
+    with pytest.raises(IsADirectoryError):
+        m.write("/data", 10)
+
+
+def test_union_delete_lower_file_uses_whiteout(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    m.delete("/system/app/browser.apk")
+    assert not m.exists("/system/app/browser.apk")
+    assert m.top.hides("/system/app/browser.apk")
+    # The shared layer still physically has it.
+    assert base_layer.has("/system/app/browser.apk")
+
+
+def test_union_delete_top_only_file_no_whiteout(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    m.write("/tmp/x", 5)
+    m.delete("/tmp/x")
+    assert not m.exists("/tmp/x")
+    assert not m.top.hides("/tmp/x")
+
+
+def test_union_delete_copied_up_file_still_hides_lower(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    m.write("/init", 300)  # copy-up
+    m.delete("/init")
+    assert not m.exists("/init")  # lower /init must stay hidden
+
+
+def test_union_delete_missing_rejected(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    with pytest.raises(FileNotFoundError):
+        m.delete("/nope")
+
+
+def test_union_read_touches_atime(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    node = m.read("/init", now=42.0)
+    assert node.atime == 42.0
+    with pytest.raises(FileNotFoundError):
+        m.read("/nope")
+
+
+def test_union_visible_paths_merged_view(base_layer):
+    top = Layer("t")
+    top.add_file("/data/new", 1)
+    top.whiteout("/init")
+    m = UnionMount("m", [top, base_layer])
+    paths = m.visible_paths()
+    assert "/data/new" in paths
+    assert "/init" not in paths
+    assert "/system/lib/libc.so" in paths
+
+
+def test_union_byte_accounting(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    m.write("/data/x", 50)
+    assert m.visible_bytes() == 6100 + 50
+    assert m.private_bytes() == 50
+    assert m.shared_bytes() == 6100
+
+
+# ------------------------------------------------------------- accounting
+def test_storage_report_counts_shared_layers_once(base_layer):
+    mounts = [
+        UnionMount(f"cac-{i}", [Layer(f"top-{i}"), base_layer]) for i in range(5)
+    ]
+    for m in mounts:
+        m.write("/data/private.bin", 1000)
+    report = StorageReport(mounts)
+    assert report.physical_bytes == base_layer.total_bytes + 5 * 1000
+    assert report.logical_bytes == 5 * (base_layer.total_bytes + 1000)
+    assert report.dedup_ratio == pytest.approx(35500 / 11100)
+    per = report.per_mount()
+    assert per["cac-0"]["private"] == 1000
+
+
+def test_fleet_usage_and_savings():
+    GB = 1024**3
+    MB = 1024**2
+    full = int(1.1 * GB)
+    shared = int(985 * MB)
+    private = int(7.1 * MB)
+    # One instance: paper says "at least 79%" saved.
+    s1 = dedup_savings(full, shared, private, instances=1)
+    assert s1 >= 0.10  # single instance barely saves (shared base dominates)
+    s20 = dedup_savings(full, shared, private, instances=20)
+    assert s20 >= 0.79
+    assert fleet_usage(private, 20, shared) == shared + 20 * private
+    with pytest.raises(ValueError):
+        fleet_usage(-1, 1)
+    with pytest.raises(ValueError):
+        dedup_savings(full, shared, private, instances=0)
+
+
+# ---------------------------------------------------------------- property
+paths = st.lists(
+    st.text(alphabet="abcdef", min_size=1, max_size=4).map(lambda s: "/" + s),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+
+
+@given(paths, st.data())
+def test_union_resolution_invariants(paths, data):
+    """Writes then deletes: a deleted path never resolves; visible bytes
+    equal the sum of resolved sizes; top-layer provider wins."""
+    base = Layer("base")
+    for i, p in enumerate(paths[: len(paths) // 2]):
+        base.add_file(p, (i + 1) * 10)
+    base.seal()
+    m = UnionMount("m", [Layer("top"), base])
+    for p in paths:
+        if data.draw(st.booleans(), label=f"write {p}"):
+            m.write(p, data.draw(st.integers(0, 1000), label=f"size {p}"))
+    deleted = []
+    for p in paths:
+        if m.exists(p) and data.draw(st.booleans(), label=f"delete {p}"):
+            m.delete(p)
+            deleted.append(p)
+    for p in deleted:
+        assert not m.exists(p)
+    total = sum(m.resolve(p).size for p in m.visible_paths())
+    assert total == m.visible_bytes()
+    for p in m.visible_paths():
+        prov = m.provider(p)
+        assert prov is not None
+        if m.top.has(p):
+            assert prov is m.top

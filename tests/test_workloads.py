@@ -1,0 +1,211 @@
+"""Tests for workload profiles and request-stream generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    CHESS_GAME,
+    LINPACK,
+    OCR,
+    VIRUS_SCAN,
+    WorkloadProfile,
+    generate_inflow,
+    get_profile,
+    poisson_inflow,
+)
+
+
+def test_four_paper_workloads_exist():
+    assert [w.name for w in ALL_WORKLOADS] == ["ocr", "chess", "virusscan", "linpack"]
+    assert {w.category for w in ALL_WORKLOADS} == {
+        "image-tool",
+        "game",
+        "anti-virus",
+        "math",
+    }
+
+
+def test_get_profile_lookup():
+    assert get_profile("ocr") is OCR
+    with pytest.raises(KeyError):
+        get_profile("minecraft")
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        WorkloadProfile(name="", category="x")
+    with pytest.raises(ValueError):
+        WorkloadProfile(name="x", category="x", code_size_kb=-1)
+    with pytest.raises(ValueError):
+        WorkloadProfile(name="x", category="x", exec_io_ops=-1)
+
+
+def test_table2_calibration_vm_and_rattrap_uploads():
+    """Per-request payloads reproduce Table II totals (5 devices x 20 reqs)."""
+    expectations = {
+        # (VM upload, Rattrap upload, download) in KB from Table II
+        "ocr": (35047, 29440, 152),
+        "chess": (13301, 4788, 34),
+        "virusscan": (98895, 91973, 1738),
+        "linpack": (705, 169, 11),
+    }
+    for profile in ALL_WORKLOADS:
+        vm_up = 5 * profile.code_size_kb + 100 * profile.per_request_upload_kb
+        rt_up = profile.code_size_kb + 100 * profile.per_request_upload_kb
+        down = 100 * profile.result_size_kb
+        exp_vm, exp_rt, exp_down = expectations[profile.name]
+        assert vm_up == pytest.approx(exp_vm, rel=0.01), profile.name
+        assert rt_up == pytest.approx(exp_rt, rel=0.01), profile.name
+        assert down == pytest.approx(exp_down, rel=0.15), profile.name
+
+
+def test_code_dominates_for_pure_compute_workloads():
+    # Fig. 3: mobile code > 50 % of per-VM migrated data for Chess/Linpack.
+    for profile in (CHESS_GAME, LINPACK):
+        per_vm = profile.code_size_kb + 20 * profile.per_request_upload_kb
+        assert profile.code_size_kb / per_vm > 0.5, profile.name
+    for profile in (OCR, VIRUS_SCAN):
+        per_vm = profile.code_size_kb + 20 * profile.per_request_upload_kb
+        assert profile.code_size_kb / per_vm < 0.5, profile.name
+
+
+def test_virusscan_most_io_intensive():
+    assert VIRUS_SCAN.exec_io_ops == max(w.exec_io_ops for w in ALL_WORKLOADS)
+
+
+def test_transfers_files_flags():
+    assert OCR.transfers_files and VIRUS_SCAN.transfers_files
+    assert not CHESS_GAME.transfers_files and not LINPACK.transfers_files
+
+
+def test_local_beats_cloud_cpu():
+    # Handsets are slower than Xeon cores: local time > cloud CPU time.
+    for w in ALL_WORKLOADS:
+        assert w.local_time_s > w.cloud_cpu_s * 3
+
+
+# ---------------------------------------------------------------- inflow
+def test_generate_inflow_shape():
+    plans = generate_inflow(OCR, devices=5, requests_per_device=20, seed=7)
+    assert len(plans) == 100
+    assert len({p.request.request_id for p in plans}) == 100
+    devices = {p.device_id for p in plans}
+    assert devices == {f"device-{i}" for i in range(5)}
+
+
+def test_generate_inflow_deterministic_per_seed():
+    a = generate_inflow(OCR, seed=3)
+    b = generate_inflow(OCR, seed=3)
+    c = generate_inflow(OCR, seed=4)
+    assert [p.time_s for p in a] == [p.time_s for p in b]
+    assert [p.time_s for p in a] != [p.time_s for p in c]
+
+
+def test_generate_inflow_think_gaps_bounded():
+    plans = generate_inflow(OCR, think_time_s=6.0, think_jitter=0.25, seed=0)
+    gaps = [p.gap_s for p in plans if p.request.seq_on_device > 0]
+    assert all(4.5 <= g <= 7.5 for g in gaps)
+
+
+def test_generate_inflow_device_stagger():
+    plans = generate_inflow(OCR, devices=3, requests_per_device=1,
+                            start_offset_s=0.5, seed=0)
+    firsts = sorted(p.time_s for p in plans)
+    assert firsts == [0.0, 0.5, 1.0]
+
+
+def test_generate_inflow_sorted_by_time():
+    plans = generate_inflow(OCR, seed=0)
+    times = [p.time_s for p in plans]
+    assert times == sorted(times)
+
+
+def test_generate_inflow_validation():
+    with pytest.raises(ValueError):
+        generate_inflow(OCR, devices=0)
+    with pytest.raises(ValueError):
+        generate_inflow(OCR, think_time_s=0)
+
+
+@given(st.integers(1, 6), st.integers(1, 10), st.integers(0, 3))
+def test_generate_inflow_property_counts(devices, per_device, seed):
+    plans = generate_inflow(OCR, devices=devices, requests_per_device=per_device,
+                            seed=seed)
+    assert len(plans) == devices * per_device
+    for p in plans:
+        assert p.request.device_id == p.device_id
+        assert 0 <= p.request.seq_on_device < per_device
+
+
+def test_poisson_inflow_rate_roughly_holds():
+    plans = poisson_inflow(LINPACK, rate_per_s=2.0, horizon_s=500.0, seed=1)
+    assert len(plans) == pytest.approx(1000, rel=0.15)
+    assert all(0 < p.time_s < 500 for p in plans)
+
+
+def test_poisson_inflow_validation():
+    with pytest.raises(ValueError):
+        poisson_inflow(LINPACK, rate_per_s=0, horizon_s=10)
+    with pytest.raises(ValueError):
+        poisson_inflow(LINPACK, rate_per_s=1, horizon_s=0)
+
+
+def test_mixed_inflow_draws_all_profiles():
+    from repro.workloads import generate_mixed_inflow
+
+    plans = generate_mixed_inflow(ALL_WORKLOADS, devices=5,
+                                  requests_per_device=20, seed=1)
+    assert len(plans) == 100
+    apps = {p.request.app_id for p in plans}
+    assert apps == {"ocr", "chess", "virusscan", "linpack"}
+    # Each device runs a mix, not a single app.
+    per_device = {}
+    for p in plans:
+        per_device.setdefault(p.device_id, set()).add(p.request.app_id)
+    assert all(len(apps) >= 2 for apps in per_device.values())
+
+
+def test_mixed_inflow_validation():
+    from repro.workloads import generate_mixed_inflow
+
+    with pytest.raises(ValueError):
+        generate_mixed_inflow([])
+    with pytest.raises(ValueError):
+        generate_mixed_inflow(ALL_WORKLOADS, devices=0)
+
+
+def test_mixed_inflow_end_to_end_warehouse_holds_all_apps():
+    from repro.network import make_link
+    from repro.offload import run_inflow_experiment
+    from repro.platform import RattrapPlatform
+    from repro.sim import Environment
+    from repro.workloads import generate_mixed_inflow
+
+    env = Environment()
+    plat = RattrapPlatform(env)
+    plans = generate_mixed_inflow(ALL_WORKLOADS, devices=3,
+                                  requests_per_device=10, seed=2)
+    results = run_inflow_experiment(env, plat, plans, make_link("lan-wifi"))
+    assert len(results) == 30
+    # Every app's code was uploaded exactly once, platform-wide.
+    assert len(plat.warehouse) == len({p.request.app_id for p in plans})
+    cold_uploads = sum(1 for r in results if not r.code_cache_hit)
+    assert cold_uploads == len(plat.warehouse)
+    # Containers accumulate multiple warm apps.
+    assert any(len(rec.runtime.loaded_apps) >= 2 for rec in plat.db.all_records())
+
+
+def test_derive_profile():
+    from repro.workloads import derive_profile
+
+    blitz = derive_profile(CHESS_GAME, "blitz", cloud_cpu_s=0.3, local_time_s=1.2)
+    assert blitz.name == "blitz"
+    assert blitz.cloud_cpu_s == 0.3
+    assert blitz.code_size_kb == CHESS_GAME.code_size_kb  # inherited
+    assert CHESS_GAME.cloud_cpu_s != 0.3  # original untouched
+    with pytest.raises(ValueError, match="unknown profile fields"):
+        derive_profile(CHESS_GAME, "x", warp_speed=9)
+    # method form
+    assert CHESS_GAME.derive("quick", local_time_s=2.0).local_time_s == 2.0
