@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench experiments
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Run every experiment and write BENCH_experiments.json with
+## per-cell and per-experiment wall-clock (JOBS=N to parallelize).
+JOBS ?= 0
+bench:
+	$(PYTHON) -m repro.experiments.runner --jobs $(JOBS) --bench
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner --jobs $(JOBS)

@@ -13,7 +13,7 @@ contribution on the standard 5-device closed-loop experiment:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, List
 
 from ..analysis import phase_means, render_table
 from ..network import make_link
@@ -27,8 +27,9 @@ from ..workloads import (
     generate_inflow,
     generate_mixed_inflow,
 )
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report"]
+__all__ = ["run", "report", "cells", "merge"]
 
 KB = 1024
 
@@ -114,14 +115,32 @@ def _ablate_priority() -> Dict[str, float]:
     return {"chess_exec_fair_s": run({}), "chess_exec_weighted_s": run({"chess": 8.0})}
 
 
-def run() -> Dict[str, Dict[str, float]]:
+#: ablation name -> measurement function, in report order
+ABLATIONS = {
+    "no-cache": _ablate_cache,
+    "exclusive-io": _ablate_shared_io,
+    "app-affinity": _ablate_dispatch,
+    "priority": _ablate_priority,
+}
+
+
+def cells() -> List[Cell]:
+    """One cell per ablated mechanism."""
+    return [
+        Cell(experiment="ablations", key=(name,), fn=fn)
+        for name, fn in ABLATIONS.items()
+    ]
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, Dict[str, float]]:
+    """Reassemble data[ablation name] = measurements."""
+    return {cell.key[0]: value for cell, value in zip(cell_list, values)}
+
+
+def run(jobs: int = 0) -> Dict[str, Dict[str, float]]:
     """All four ablations."""
-    return {
-        "no-cache": _ablate_cache(),
-        "exclusive-io": _ablate_shared_io(),
-        "app-affinity": _ablate_dispatch(),
-        "priority": _ablate_priority(),
-    }
+    cs = cells()
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, Dict[str, float]]) -> str:

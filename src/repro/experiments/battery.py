@@ -9,7 +9,7 @@ typical ~12 Wh handset battery the app consumes under each strategy.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -20,49 +20,81 @@ from ..sim import Environment
 from ..traces import LiveLabConfig, generate_livelab_trace, replay_trace, trace_to_plans
 from ..workloads import CHESS_GAME
 from .common import PLATFORM_NAMES, build_platform
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report"]
+__all__ = ["run", "report", "cells", "merge"]
 
 BATTERY_WH = 12.0  # ~3.2 Ah at 3.7 V
 BATTERY_J = BATTERY_WH * 3600
 
 
-def run(seed: int = 7, users: int = 5, days: float = 1.0) -> Dict[str, dict]:
-    """Per-strategy daily energy for the app's offloading traffic."""
-    trace = generate_livelab_trace(
+def _make_trace(seed: int, users: int, days: float):
+    return generate_livelab_trace(
         LiveLabConfig(users=users, days=days), apps=(CHESS_GAME.name,), seed=seed
     )
-    power = PowerModel()
-    data: Dict[str, dict] = {}
 
-    # Local baseline: every access runs on the handset.
+
+def local_energy_cell(seed: int = 7, users: int = 5, days: float = 1.0) -> dict:
+    """Baseline: every session of the trace runs on the handset."""
+    trace = _make_trace(seed, users, days)
+    power = PowerModel()
     local_j = len(trace) / users * power.local_energy(CHESS_GAME).total_j
-    data["local"] = {
+    return {
         "joules_per_device_day": local_j / days,
         "battery_pct_per_day": 100 * local_j / days / BATTERY_J,
     }
 
+
+def platform_energy_cell(
+    platform: str, seed: int = 7, users: int = 5, days: float = 1.0
+) -> dict:
+    """Replay the trace against one platform, metering device batteries."""
+    trace = _make_trace(seed, users, days)
+    power = PowerModel()
+    env = Environment()
+    plat = build_platform(env, platform)
+    plans = trace_to_plans(trace, CHESS_GAME, seed=seed)
+    users_list = sorted({p.device_id for p in plans})
+    links = {
+        u: make_link("lan-wifi", rng=np.random.default_rng(seed + i))
+        for i, u in enumerate(users_list)
+    }
+    devices = {
+        u: MobileDevice(u, links[u], power_model=power, battery_joules=BATTERY_J)
+        for u in users_list
+    }
+    replay_trace(env, plat, plans, links, idle_timeout_s=120.0, devices=devices)
+    per_device_j = np.mean([d.energy_used_j for d in devices.values()])
+    return {
+        "joules_per_device_day": float(per_device_j) / days,
+        "battery_pct_per_day": 100 * float(per_device_j) / days / BATTERY_J,
+    }
+
+
+def cells(seed: int = 7, users: int = 5, days: float = 1.0) -> List[Cell]:
+    """The local baseline plus one cell per offloading platform."""
+    kwargs = {"seed": seed, "users": users, "days": days}
+    out = [Cell(experiment="battery", key=("local",), fn=local_energy_cell,
+                kwargs=dict(kwargs))]
     for platform_name in PLATFORM_NAMES:
-        env = Environment()
-        platform = build_platform(env, platform_name)
-        plans = trace_to_plans(trace, CHESS_GAME, seed=seed)
-        users_list = sorted({p.device_id for p in plans})
-        links = {
-            u: make_link("lan-wifi", rng=np.random.default_rng(seed + i))
-            for i, u in enumerate(users_list)
-        }
-        devices = {
-            u: MobileDevice(u, links[u], power_model=power, battery_joules=BATTERY_J)
-            for u in users_list
-        }
-        replay_trace(env, platform, plans, links, idle_timeout_s=120.0,
-                     devices=devices)
-        per_device_j = np.mean([d.energy_used_j for d in devices.values()])
-        data[platform_name] = {
-            "joules_per_device_day": float(per_device_j) / days,
-            "battery_pct_per_day": 100 * float(per_device_j) / days / BATTERY_J,
-        }
-    return data
+        out.append(
+            Cell(experiment="battery", key=(platform_name,),
+                 fn=platform_energy_cell,
+                 kwargs={"platform": platform_name, **kwargs})
+        )
+    return out
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, dict]:
+    """Reassemble data[strategy] = energy summary."""
+    return {cell.key[0]: value for cell, value in zip(cell_list, values)}
+
+
+def run(seed: int = 7, users: int = 5, days: float = 1.0,
+        jobs: int = 0) -> Dict[str, dict]:
+    """Per-strategy daily energy for the app's offloading traffic."""
+    cs = cells(seed=seed, users=users, days=days)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, dict]) -> str:

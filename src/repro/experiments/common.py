@@ -9,13 +9,15 @@ platform names mirror §VI-A: ``vm`` (Android-x86/VirtualBox cloud),
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis import phase_means
 from ..network import make_link
 from ..offload import MobileDevice, PowerModel, RequestResult, run_inflow_experiment
 from ..platform import CloudPlatform, RattrapPlatform, VMCloudPlatform
 from ..sim import Environment
-from ..workloads import WorkloadProfile, generate_inflow
+from ..workloads import ALL_WORKLOADS, WorkloadProfile, generate_inflow, get_profile
+from .engine import Cell
 
 __all__ = [
     "PLATFORM_NAMES",
@@ -24,6 +26,10 @@ __all__ = [
     "run_workload_experiment",
     "DEVICES",
     "REQUESTS_PER_DEVICE",
+    "workload_platform_cells",
+    "phase_summary_cell",
+    "migrated_data_cell",
+    "energy_cell",
 ]
 
 PLATFORM_NAMES: Tuple[str, ...] = ("vm", "rattrap-wo", "rattrap")
@@ -101,3 +107,85 @@ def run_workload_experiment(
         results=results,
         devices=device_map,
     )
+
+
+# --------------------------------------------------------------- cell scaffolding
+#
+# Cells reference module-level functions (picklable by qualified name)
+# and pass profiles by *name*, so a cell can cross a process boundary
+# and rebuild everything it needs from its kwargs alone.
+
+def phase_summary_cell(
+    platform: str, profile: str, scenario: str = "lan-wifi", seed: int = 1
+) -> Dict[str, float]:
+    """One Fig. 9-style cell: mean seconds per offloading phase."""
+    exp = run_workload_experiment(
+        platform, get_profile(profile), scenario=scenario, seed=seed
+    )
+    summary = phase_means(exp.results)
+    return {
+        "execution": summary.execution,
+        "preparation": summary.preparation,
+        "transfer": summary.transfer,
+        "connection": summary.connection,
+        "total": summary.total,
+    }
+
+
+def migrated_data_cell(
+    platform: str, profile: str, scenario: str = "lan-wifi", seed: int = 1
+) -> Dict[str, float]:
+    """One Table II-style cell: total migrated KB up/down."""
+    kb = 1024
+    exp = run_workload_experiment(
+        platform, get_profile(profile), scenario=scenario, seed=seed
+    )
+    return {
+        "upload_kb": sum(r.bytes_up for r in exp.served) / kb,
+        "download_kb": sum(r.bytes_down for r in exp.served) / kb,
+    }
+
+
+def energy_cell(
+    platform: str, profile: str, scenario: str = "lan-wifi", seed: int = 1
+) -> float:
+    """One Fig. 10-style cell: mean energy normalized to local execution."""
+    power = PowerModel()
+    exp = run_workload_experiment(
+        platform, get_profile(profile), scenario=scenario, seed=seed
+    )
+    normalized = [power.normalized_offload_energy(r, scenario) for r in exp.served]
+    return sum(normalized) / len(normalized)
+
+
+def workload_platform_cells(
+    experiment: str,
+    fn: Callable[..., Any],
+    profiles: Optional[Iterable[WorkloadProfile]] = None,
+    platforms: Sequence[str] = PLATFORM_NAMES,
+    scenarios: Sequence[str] = ("lan-wifi",),
+    seed: int = 1,
+) -> List[Cell]:
+    """The standard profile × scenario × platform cell cross product.
+
+    Iteration order (profile outermost, platform innermost) fixes the
+    cell order every experiment's ``merge`` reassembles from.
+    """
+    cells: List[Cell] = []
+    for profile in profiles if profiles is not None else ALL_WORKLOADS:
+        for scenario in scenarios:
+            for platform in platforms:
+                cells.append(
+                    Cell(
+                        experiment=experiment,
+                        key=(profile.name, scenario, platform),
+                        fn=fn,
+                        kwargs={
+                            "platform": platform,
+                            "profile": profile.name,
+                            "scenario": scenario,
+                            "seed": seed,
+                        },
+                    )
+                )
+    return cells

@@ -9,7 +9,7 @@ capacity plus the response degradation on the way there.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from ..analysis import phase_means, render_table
 from ..hostos import OutOfMemoryError
@@ -18,8 +18,9 @@ from ..offload import run_inflow_experiment
 from ..sim import Environment
 from ..workloads import LINPACK, generate_inflow
 from .common import build_platform
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report", "TENANT_STEPS"]
+__all__ = ["run", "report", "cells", "merge", "TENANT_STEPS"]
 
 TENANT_STEPS = (8, 16, 32, 64, 128)
 
@@ -44,18 +45,44 @@ def _try_tenants(platform_name: str, tenants: int, seed: int = 1):
     }
 
 
-def run(seed: int = 1) -> Dict[str, List[dict]]:
-    """Ramp tenants on the VM cloud and Rattrap; record each step."""
+def cells(seed: int = 1) -> List[Cell]:
+    """One cell per platform × tenant step.
+
+    Serial execution stops ramping after the first OOM step; the cell
+    decomposition runs every step and lets ``merge`` truncate instead,
+    trading a little redundant work for full parallelism — the reported
+    data is identical.
+    """
+    return [
+        Cell(
+            experiment="density",
+            key=(platform_name, tenants),
+            fn=_try_tenants,
+            kwargs={"platform_name": platform_name, "tenants": tenants, "seed": seed},
+        )
+        for platform_name in ("vm", "rattrap")
+        for tenants in TENANT_STEPS
+    ]
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, List[dict]]:
+    """Reassemble the ramp, truncating after each platform's first OOM."""
     data: Dict[str, List[dict]] = {}
-    for platform_name in ("vm", "rattrap"):
-        steps = []
-        for tenants in TENANT_STEPS:
-            outcome = _try_tenants(platform_name, tenants, seed=seed)
-            steps.append({"tenants": tenants, **outcome})
-            if not outcome["served"]:
-                break
-        data[platform_name] = steps
+    stopped: Dict[str, bool] = {}
+    for cell, outcome in zip(cell_list, values):
+        platform_name, tenants = cell.key
+        if stopped.get(platform_name):
+            continue
+        data.setdefault(platform_name, []).append({"tenants": tenants, **outcome})
+        if not outcome["served"]:
+            stopped[platform_name] = True
     return data
+
+
+def run(seed: int = 1, jobs: int = 0) -> Dict[str, List[dict]]:
+    """Ramp tenants on the VM cloud and Rattrap; record each step."""
+    cs = cells(seed=seed)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, List[dict]]) -> str:

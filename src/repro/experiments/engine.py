@@ -1,0 +1,180 @@
+"""Parallel experiment engine: cells, fan-out, and benchmark artifacts.
+
+Every experiment decomposes into independent *cells* — one
+(platform, profile, scenario, seed) combination, each building its own
+:class:`~repro.sim.Environment` from its own deterministic seed.  The
+engine fans cells out across a ``ProcessPoolExecutor`` and reassembles
+results **in cell order**, so parallel output is bit-identical to the
+serial run: no cell reads another cell's state, and merging never
+depends on completion order.
+
+``jobs`` semantics (mirrored by the ``rattrap-experiments --jobs``
+flag):
+
+- ``0`` or ``1`` — serial, in the current process (the default);
+- ``N > 1``     — up to N worker processes;
+- ``None``      — one worker per CPU.
+
+If a process pool cannot be created (no ``fork``/``spawn`` support,
+sandboxed interpreter, unpicklable cell) the engine silently falls
+back to the in-process serial path — same results, no parallelism.
+
+Per-cell wall-clock is measured inside the worker and surfaced through
+:func:`collect_timings`, which :mod:`repro.experiments.runner` uses to
+write the ``BENCH_experiments.json`` trajectory artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Cell",
+    "CellTiming",
+    "run_cells",
+    "collect_timings",
+    "default_jobs",
+    "benchmark_payload",
+    "BENCH_SCHEMA_VERSION",
+]
+
+#: bump when the BENCH_experiments.json layout changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of experiment work.
+
+    ``fn`` must be a module-level callable (picklable by qualified
+    name) taking ``**kwargs`` and returning picklable data.  ``key``
+    identifies the cell inside its experiment — e.g.
+    ``("ocr", "lan-wifi", "rattrap")`` — and is what ``merge``
+    implementations index on.
+    """
+
+    experiment: str
+    key: Tuple[Any, ...]
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def run(self) -> Any:
+        """Execute the cell in-process."""
+        return self.fn(**self.kwargs)
+
+
+@dataclass
+class CellTiming:
+    """Wall-clock record for one executed cell."""
+
+    experiment: str
+    key: Tuple[Any, ...]
+    wall_s: float
+
+
+# Timings flow to whichever collector is active; `None` means drop them.
+_active_timings: Optional[List[CellTiming]] = None
+
+
+@contextmanager
+def collect_timings() -> Iterator[List[CellTiming]]:
+    """Collect per-cell timings from every ``run_cells`` in the block."""
+    global _active_timings
+    previous = _active_timings
+    timings: List[CellTiming] = []
+    _active_timings = timings
+    try:
+        yield timings
+    finally:
+        _active_timings = previous
+
+
+def default_jobs() -> int:
+    """Worker count used for ``jobs=None``: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def _execute_cell(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> Tuple[Any, float]:
+    """Worker entry point: run one cell, timing it inside the worker."""
+    t0 = time.perf_counter()
+    value = fn(**dict(kwargs))
+    return value, time.perf_counter() - t0
+
+
+def _run_serial(cells: Sequence[Cell]) -> List[Tuple[Any, float]]:
+    return [_execute_cell(cell.fn, cell.kwargs) for cell in cells]
+
+
+def _run_pool(cells: Sequence[Cell], workers: int) -> List[Tuple[Any, float]]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_execute_cell, cell.fn, dict(cell.kwargs)) for cell in cells]
+        # Collect in submission order — determinism does not depend on
+        # completion order.
+        return [f.result() for f in futures]
+
+
+def run_cells(cells: Sequence[Cell], jobs: Optional[int] = 0) -> List[Any]:
+    """Run every cell and return the values **in cell order**.
+
+    ``jobs=0``/``1`` runs serially in-process; ``jobs=N`` fans out over
+    up to N worker processes; ``jobs=None`` uses one worker per CPU.
+    Parallel runs produce bit-identical results to serial ones because
+    each cell is self-contained and deterministically seeded.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    workers = default_jobs() if jobs is None else int(jobs)
+    if workers < 0:
+        raise ValueError(f"jobs must be >= 0, got {workers}")
+    workers = min(workers, len(cells))
+    if workers <= 1:
+        outcomes = _run_serial(cells)
+    else:
+        try:
+            outcomes = _run_pool(cells, workers)
+        except Exception:
+            # Pool unavailable (sandbox, pickling, interpreter limits):
+            # identical results via the in-process fallback.
+            outcomes = _run_serial(cells)
+    if _active_timings is not None:
+        for cell, (_, wall_s) in zip(cells, outcomes):
+            _active_timings.append(CellTiming(cell.experiment, cell.key, wall_s))
+    return [value for value, _ in outcomes]
+
+
+def benchmark_payload(
+    experiments: Sequence[Mapping[str, Any]],
+    jobs: Optional[int],
+    total_wall_s: float,
+) -> Dict[str, Any]:
+    """Assemble the ``BENCH_experiments.json`` document.
+
+    ``experiments`` rows carry ``name``, ``wall_s`` and a ``cells``
+    list of ``{"key": [...], "wall_s": ...}`` entries.  The schema is
+    covered by a tier-1 smoke test so downstream tooling can trend
+    wall-clock across PRs.
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "jobs": default_jobs() if jobs is None else int(jobs),
+        "cpu_count": os.cpu_count(),
+        "total_wall_s": total_wall_s,
+        "experiments": [
+            {
+                "name": row["name"],
+                "wall_s": row["wall_s"],
+                "cells": [
+                    {"key": list(t.key), "wall_s": t.wall_s}
+                    for t in row.get("timings", ())
+                ],
+            }
+            for row in experiments
+        ],
+    }

@@ -15,38 +15,38 @@ shape (§VI-D):
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, List
 
 from ..analysis import render_table
-from ..offload import PowerModel
-from ..workloads import ALL_WORKLOADS
-from .common import PLATFORM_NAMES, run_workload_experiment
+from .common import energy_cell, workload_platform_cells
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report", "SCENARIO_ORDER"]
+__all__ = ["run", "report", "cells", "merge", "SCENARIO_ORDER"]
 
 SCENARIO_ORDER = ("lan-wifi", "wan-wifi", "4g", "3g")
 
 
-def run(seed: int = 1) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """data[workload][scenario][platform] = mean normalized energy."""
-    power = PowerModel()
+def cells(seed: int = 1) -> List[Cell]:
+    """One cell per workload × scenario × platform."""
+    return workload_platform_cells(
+        "fig10", energy_cell, scenarios=SCENARIO_ORDER, seed=seed
+    )
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Reassemble data[workload][scenario][platform] = mean energy."""
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for profile in ALL_WORKLOADS:
-        per_scenario: Dict[str, Dict[str, float]] = {"local": {"local": 1.0}}
-        for scenario in SCENARIO_ORDER:
-            per_platform: Dict[str, float] = {}
-            for platform in PLATFORM_NAMES:
-                exp = run_workload_experiment(
-                    platform, profile, scenario=scenario, seed=seed
-                )
-                normalized = [
-                    power.normalized_offload_energy(r, scenario)
-                    for r in exp.served
-                ]
-                per_platform[platform] = sum(normalized) / len(normalized)
-            per_scenario[scenario] = per_platform
-        data[profile.name] = per_scenario
+    for cell, value in zip(cell_list, values):
+        workload, scenario, platform = cell.key
+        per_scenario = data.setdefault(workload, {"local": {"local": 1.0}})
+        per_scenario.setdefault(scenario, {})[platform] = value
     return data
+
+
+def run(seed: int = 1, jobs: int = 0) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """data[workload][scenario][platform] = mean normalized energy."""
+    cs = cells(seed=seed)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, Dict[str, Dict[str, float]]]) -> str:

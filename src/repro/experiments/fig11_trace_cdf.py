@@ -17,7 +17,7 @@ sessions; users ride a mixed WiFi/cellular population.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
@@ -33,8 +33,9 @@ from ..traces import (
 )
 from ..workloads import CHESS_GAME
 from .common import PLATFORM_NAMES, build_platform
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report", "PAPER_NUMBERS"]
+__all__ = ["run", "report", "cells", "merge", "PAPER_NUMBERS"]
 
 PAPER_NUMBERS = {
     "rattrap": {"above_3x": 0.540, "failures": 0.013},
@@ -43,37 +44,76 @@ PAPER_NUMBERS = {
 }
 
 
+def trace_replay_cell(
+    platform: str,
+    seed: int = 7,
+    users: int = 5,
+    days: float = 1.0,
+    idle_timeout_s: float = 120.0,
+) -> dict:
+    """Replay one LiveLab-style ChessGame trace on a single platform."""
+    trace = generate_livelab_trace(
+        LiveLabConfig(users=users, days=days), apps=(CHESS_GAME.name,), seed=seed
+    )
+    env = Environment()
+    plat = build_platform(env, platform)
+    plans = trace_to_plans(trace, CHESS_GAME)
+    links = {
+        user: make_link(DEFAULT_SCENARIO_MIX[i % len(DEFAULT_SCENARIO_MIX)],
+                        rng=np.random.default_rng(seed + i))
+        for i, user in enumerate(sorted({p.device_id for p in plans}))
+    }
+    results = replay_trace(env, plat, plans, links,
+                           idle_timeout_s=idle_timeout_s)
+    values, probs = speedup_cdf(results)
+    return {
+        "requests": len(results),
+        "cdf": (values, probs),
+        "above_3x": fraction_above(results, 3.0),
+        "failures": failure_rate(results),
+        "cold_boots": plat.dispatcher.cold_boots,
+    }
+
+
+def cells(
+    seed: int = 7,
+    users: int = 5,
+    days: float = 1.0,
+    idle_timeout_s: float = 120.0,
+) -> List[Cell]:
+    """One replay cell per platform (each regenerates the same trace)."""
+    return [
+        Cell(
+            experiment="fig11",
+            key=(platform_name,),
+            fn=trace_replay_cell,
+            kwargs={
+                "platform": platform_name,
+                "seed": seed,
+                "users": users,
+                "days": days,
+                "idle_timeout_s": idle_timeout_s,
+            },
+        )
+        for platform_name in PLATFORM_NAMES
+    ]
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, dict]:
+    """Reassemble data[platform] = replay summary."""
+    return {cell.key[0]: value for cell, value in zip(cell_list, values)}
+
+
 def run(
     seed: int = 7,
     users: int = 5,
     days: float = 1.0,
     idle_timeout_s: float = 120.0,
+    jobs: int = 0,
 ) -> Dict[str, dict]:
     """Replay one LiveLab-style ChessGame trace on all three platforms."""
-    trace = generate_livelab_trace(
-        LiveLabConfig(users=users, days=days), apps=(CHESS_GAME.name,), seed=seed
-    )
-    data: Dict[str, dict] = {}
-    for platform_name in PLATFORM_NAMES:
-        env = Environment()
-        platform = build_platform(env, platform_name)
-        plans = trace_to_plans(trace, CHESS_GAME)
-        links = {
-            user: make_link(DEFAULT_SCENARIO_MIX[i % len(DEFAULT_SCENARIO_MIX)],
-                            rng=np.random.default_rng(seed + i))
-            for i, user in enumerate(sorted({p.device_id for p in plans}))
-        }
-        results = replay_trace(env, platform, plans, links,
-                               idle_timeout_s=idle_timeout_s)
-        values, probs = speedup_cdf(results)
-        data[platform_name] = {
-            "requests": len(results),
-            "cdf": (values, probs),
-            "above_3x": fraction_above(results, 3.0),
-            "failures": failure_rate(results),
-            "cold_boots": platform.dispatcher.cold_boots,
-        }
-    return data
+    cs = cells(seed=seed, users=users, days=days, idle_timeout_s=idle_timeout_s)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, dict]) -> str:

@@ -10,22 +10,42 @@ above 1.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from ..analysis import per_request_phase_table, render_table
-from ..workloads import ALL_WORKLOADS
-from .common import run_workload_experiment
+from ..workloads import get_profile
+from .common import run_workload_experiment, workload_platform_cells
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report"]
+__all__ = ["run", "report", "cells", "merge"]
 
 
-def run(seed: int = 1) -> Dict[str, List[dict]]:
+def phase_table_cell(
+    platform: str, profile: str, scenario: str = "lan-wifi", seed: int = 1
+) -> List[dict]:
+    """One device's request-by-request phase decomposition."""
+    exp = run_workload_experiment(
+        platform, get_profile(profile), scenario=scenario, seed=seed
+    )
+    return per_request_phase_table(exp.results, "device-0")
+
+
+def cells(seed: int = 1) -> List[Cell]:
+    """One cell per workload, all on the VM cloud."""
+    return workload_platform_cells(
+        "fig1", phase_table_cell, platforms=("vm",), seed=seed
+    )
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, List[dict]]:
+    """Reassemble data[workload] = per-request phase rows."""
+    return {cell.key[0]: value for cell, value in zip(cell_list, values)}
+
+
+def run(seed: int = 1, jobs: int = 0) -> Dict[str, List[dict]]:
     """Per-workload Fig. 1 data: one device's 20 requests, decomposed."""
-    data: Dict[str, List[dict]] = {}
-    for profile in ALL_WORKLOADS:
-        exp = run_workload_experiment("vm", profile, seed=seed)
-        data[profile.name] = per_request_phase_table(exp.results, "device-0")
-    return data
+    cs = cells(seed=seed)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, List[dict]]) -> str:

@@ -9,26 +9,46 @@ I/O bursts on request arrival for OCR/VirusScan.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..analysis import server_load_series, sparkline
-from ..workloads import ALL_WORKLOADS
-from .common import run_workload_experiment
+from ..workloads import get_profile
+from .common import run_workload_experiment, workload_platform_cells
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report", "HORIZON_S"]
+__all__ = ["run", "report", "cells", "merge", "HORIZON_S"]
 
 HORIZON_S = 180.0
 
 
-def run(seed: int = 1) -> Dict[str, Dict[str, np.ndarray]]:
+def load_series_cell(
+    platform: str, profile: str, scenario: str = "lan-wifi", seed: int = 1
+) -> Dict[str, np.ndarray]:
+    """One workload's server CPU/I-O series over the Fig. 2 horizon."""
+    exp = run_workload_experiment(
+        platform, get_profile(profile), scenario=scenario, seed=seed
+    )
+    return server_load_series(exp.platform.server, 0.0, HORIZON_S)
+
+
+def cells(seed: int = 1) -> List[Cell]:
+    """One cell per workload, all on the VM cloud."""
+    return workload_platform_cells(
+        "fig2", load_series_cell, platforms=("vm",), seed=seed
+    )
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, Dict[str, np.ndarray]]:
+    """Reassemble data[workload] = load series."""
+    return {cell.key[0]: value for cell, value in zip(cell_list, values)}
+
+
+def run(seed: int = 1, jobs: int = 0) -> Dict[str, Dict[str, np.ndarray]]:
     """Per-workload server-load series on the VM platform."""
-    data: Dict[str, Dict[str, np.ndarray]] = {}
-    for profile in ALL_WORKLOADS:
-        exp = run_workload_experiment("vm", profile, seed=seed)
-        data[profile.name] = server_load_series(exp.platform.server, 0.0, HORIZON_S)
-    return data
+    cs = cells(seed=seed)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, Dict[str, np.ndarray]]) -> str:

@@ -9,42 +9,59 @@ duplicate-transfer problem), and for workloads with no file transfer
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from ..analysis import render_table
 from ..offload.messages import KB
-from ..workloads import ALL_WORKLOADS
-from .common import DEVICES, run_workload_experiment
+from ..workloads import get_profile
+from .common import DEVICES, run_workload_experiment, workload_platform_cells
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report"]
+__all__ = ["run", "report", "cells", "merge"]
 
 
-def run(seed: int = 1) -> Dict[str, List[Dict[str, float]]]:
+def composition_cell(
+    platform: str, profile: str, scenario: str = "lan-wifi", seed: int = 1
+) -> List[Dict[str, float]]:
+    """Per-VM upload composition fractions for one workload."""
+    prof = get_profile(profile)
+    exp = run_workload_experiment(platform, prof, scenario=scenario, seed=seed)
+    per_vm: List[Dict[str, float]] = []
+    for d in range(DEVICES):
+        device = f"device-{d}"
+        mine = [r for r in exp.served if r.request.device_id == device]
+        code = sum(prof.code_size_kb * KB for r in mine if not r.code_cache_hit)
+        file_param = len(mine) * (prof.file_size_kb + prof.param_size_kb) * KB
+        control = len(mine) * prof.control_size_kb * KB
+        total = code + file_param + control
+        per_vm.append(
+            {
+                "vm": d + 1,
+                "mobile_code": code / total,
+                "file_param": file_param / total,
+                "control": control / total,
+                "total_kb": total / KB,
+            }
+        )
+    return per_vm
+
+
+def cells(seed: int = 1) -> List[Cell]:
+    """One cell per workload, all on the VM cloud."""
+    return workload_platform_cells(
+        "fig3", composition_cell, platforms=("vm",), seed=seed
+    )
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, List[Dict[str, float]]]:
+    """Reassemble data[workload] = per-VM composition rows."""
+    return {cell.key[0]: value for cell, value in zip(cell_list, values)}
+
+
+def run(seed: int = 1, jobs: int = 0) -> Dict[str, List[Dict[str, float]]]:
     """Per-workload, per-VM upload composition fractions."""
-    data: Dict[str, List[Dict[str, float]]] = {}
-    for profile in ALL_WORKLOADS:
-        exp = run_workload_experiment("vm", profile, seed=seed)
-        per_vm: List[Dict[str, float]] = []
-        for d in range(DEVICES):
-            device = f"device-{d}"
-            mine = [r for r in exp.served if r.request.device_id == device]
-            code = sum(
-                profile.code_size_kb * KB for r in mine if not r.code_cache_hit
-            )
-            file_param = len(mine) * (profile.file_size_kb + profile.param_size_kb) * KB
-            control = len(mine) * profile.control_size_kb * KB
-            total = code + file_param + control
-            per_vm.append(
-                {
-                    "vm": d + 1,
-                    "mobile_code": code / total,
-                    "file_param": file_param / total,
-                    "control": control / total,
-                    "total_kb": total / KB,
-                }
-            )
-        data[profile.name] = per_vm
-    return data
+    cs = cells(seed=seed)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, List[Dict[str, float]]]) -> str:

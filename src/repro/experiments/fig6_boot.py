@@ -8,7 +8,7 @@ idle server and timed, showing exactly which stages the container skips
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..analysis import render_table
 from ..android import (
@@ -18,24 +18,44 @@ from ..android import (
 )
 from ..hostos import CloudServer
 from ..sim import Environment
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report"]
+__all__ = ["run", "report", "cells", "merge"]
+
+#: path name -> boot-sequence factory
+BOOT_PATHS = {
+    "android-device": lambda: device_boot_sequence(),
+    "android-vm": lambda: vm_boot_sequence(),
+    "cac-nonoptimized": lambda: container_boot_sequence(optimized=False),
+    "cac-optimized": lambda: container_boot_sequence(optimized=True),
+}
 
 
-def _time_sequence(sequence) -> List[Tuple[str, float]]:
+def boot_path_cell(path: str) -> List[Tuple[str, float]]:
+    """Time one boot path's stages on a fresh idle server."""
     env = Environment()
     server = CloudServer(env)
+    sequence = BOOT_PATHS[path]()
     return env.run(until=env.process(sequence.run(server)))
 
 
-def run() -> Dict[str, List[Tuple[str, float]]]:
+def cells() -> List[Cell]:
+    """One cell per boot path."""
+    return [
+        Cell(experiment="fig6", key=(path,), fn=boot_path_cell, kwargs={"path": path})
+        for path in BOOT_PATHS
+    ]
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, List[Tuple[str, float]]]:
+    """Reassemble data[path] = stage timeline."""
+    return {cell.key[0]: value for cell, value in zip(cell_list, values)}
+
+
+def run(jobs: int = 0) -> Dict[str, List[Tuple[str, float]]]:
     """Per-path stage timelines (stage name, measured seconds)."""
-    return {
-        "android-device": _time_sequence(device_boot_sequence()),
-        "android-vm": _time_sequence(vm_boot_sequence()),
-        "cac-nonoptimized": _time_sequence(container_boot_sequence(optimized=False)),
-        "cac-optimized": _time_sequence(container_boot_sequence(optimized=True)),
-    }
+    cs = cells()
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, List[Tuple[str, float]]]) -> str:

@@ -14,32 +14,33 @@ Expected shape (§VI-C):
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, List
 
-from ..analysis import phase_means, render_table
-from ..workloads import ALL_WORKLOADS
-from .common import PLATFORM_NAMES, run_workload_experiment
+from ..analysis import render_table
+from .common import phase_summary_cell, workload_platform_cells
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report"]
+__all__ = ["run", "report", "cells", "merge"]
 
 
-def run(seed: int = 1) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """data[workload][platform] = mean seconds per phase."""
+def cells(seed: int = 1) -> List[Cell]:
+    """One cell per workload × platform."""
+    return workload_platform_cells("fig9", phase_summary_cell, seed=seed)
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Reassemble data[workload][platform] = mean seconds per phase."""
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for profile in ALL_WORKLOADS:
-        per_platform: Dict[str, Dict[str, float]] = {}
-        for platform in PLATFORM_NAMES:
-            exp = run_workload_experiment(platform, profile, seed=seed)
-            summary = phase_means(exp.results)
-            per_platform[platform] = {
-                "execution": summary.execution,
-                "preparation": summary.preparation,
-                "transfer": summary.transfer,
-                "connection": summary.connection,
-                "total": summary.total,
-            }
-        data[profile.name] = per_platform
+    for cell, value in zip(cell_list, values):
+        workload, _scenario, platform = cell.key
+        data.setdefault(workload, {})[platform] = value
     return data
+
+
+def run(seed: int = 1, jobs: int = 0) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """data[workload][platform] = mean seconds per phase."""
+    cs = cells(seed=seed)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, Dict[str, Dict[str, float]]]) -> str:

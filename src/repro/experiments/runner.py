@@ -2,9 +2,16 @@
 
 Usage::
 
-    rattrap-experiments                 # run everything
+    rattrap-experiments                 # run everything, serially
     rattrap-experiments fig9 table2     # run a subset
+    rattrap-experiments --jobs 4 fig9   # fan cells over 4 processes
+    rattrap-experiments --bench         # also write BENCH_experiments.json
+    rattrap-experiments --profile fig9  # cProfile one experiment
     rattrap-experiments --list
+
+``--jobs N`` parallelizes *within* each experiment over its independent
+cells; reports are byte-identical to the serial run (see
+``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ import argparse
 import sys
 import time
 from typing import Callable, Dict, Tuple
+
+from .engine import benchmark_payload, collect_timings
 
 from . import (
     ablations,
@@ -32,7 +41,15 @@ from . import (
     table2_migrated,
 )
 
-__all__ = ["EXPERIMENTS", "main", "run_experiment", "export_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "main",
+    "run_experiment",
+    "export_experiment",
+    "profile_experiment",
+]
+
+BENCH_PATH = "BENCH_experiments.json"
 
 #: name -> (module, description)
 EXPERIMENTS: Dict[str, Tuple[object, str]] = {
@@ -54,15 +71,43 @@ EXPERIMENTS: Dict[str, Tuple[object, str]] = {
 }
 
 
-def run_experiment(name: str) -> str:
-    """Run one experiment and return its report text."""
+def run_experiment(name: str, jobs: int = 0) -> str:
+    """Run one experiment and return its report text.
+
+    ``jobs`` is forwarded to the experiment's cell engine: ``0``/``1``
+    runs serially, ``N`` fans the cells over up to N processes.  The
+    report text is identical either way.
+    """
     try:
         module, _ = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return module.report(module.run())
+    return module.report(module.run(jobs=jobs))
+
+
+def profile_experiment(name: str, top: int = 20) -> str:
+    """cProfile one experiment (serially) and return the top entries.
+
+    Sorted by cumulative time; the report text itself is discarded —
+    the point is to see where the simulation spends its time.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(name, jobs=0)
+    profiler.disable()
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
 
 
 def _jsonable(obj):
@@ -116,15 +161,48 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan each experiment's cells over N worker processes "
+        "(0 = serial, the default; results are identical either way)",
+    )
+    parser.add_argument(
         "--export",
         metavar="DIR",
         help="also write each experiment's raw data as JSON into DIR",
     )
+    parser.add_argument(
+        "--bench",
+        nargs="?",
+        const=BENCH_PATH,
+        metavar="PATH",
+        help=f"write per-cell/per-experiment wall-clock to PATH "
+        f"(default {BENCH_PATH})",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="EXPERIMENT",
+        help="cProfile one experiment and print the top-20 cumulative "
+        "entries instead of running the suite",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
 
     if args.list:
         for name, (_, desc) in EXPERIMENTS.items():
             print(f"{name:8s} {desc}")
+        return 0
+
+    if args.profile:
+        if args.profile not in EXPERIMENTS:
+            print(f"unknown experiment: {args.profile}", file=sys.stderr)
+            print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        print(profile_experiment(args.profile))
         return 0
 
     names = args.experiments or list(EXPERIMENTS)
@@ -133,15 +211,29 @@ def main(argv=None) -> int:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+
+    bench_rows = []
+    suite_t0 = time.perf_counter()
     for name in names:
         t0 = time.perf_counter()
-        text = run_experiment(name)
+        with collect_timings() as timings:
+            text = run_experiment(name, jobs=args.jobs)
         elapsed = time.perf_counter() - t0
+        bench_rows.append({"name": name, "wall_s": elapsed, "timings": list(timings)})
         print(f"\n{'#' * 72}\n# {name}: {EXPERIMENTS[name][1]}  ({elapsed:.1f}s)\n{'#' * 72}")
         print(text)
         if args.export:
             path = export_experiment(name, args.export)
             print(f"[exported {path}]")
+    if args.bench:
+        import json
+
+        payload = benchmark_payload(
+            bench_rows, args.jobs, time.perf_counter() - suite_t0
+        )
+        with open(args.bench, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"\n[bench written to {args.bench}]")
     return 0
 
 

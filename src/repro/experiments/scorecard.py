@@ -9,7 +9,7 @@ The output is the one table to read to judge this reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Any, Callable, Dict, List
 
 from ..analysis import render_table
 from . import (
@@ -20,11 +20,22 @@ from . import (
     table1_overheads,
     table2_migrated,
 )
+from .engine import Cell, run_cells
 from .table2_migrated import PAPER_VALUES_KB
 
-__all__ = ["Check", "run", "report"]
+__all__ = ["Check", "run", "report", "cells", "merge"]
 
 MB = 1024 * 1024
+
+#: experiment tag (Cell.experiment) -> module whose cells/merge we reuse
+SUB_EXPERIMENTS = {
+    "sec3e": section3e_redundancy,
+    "table1": table1_overheads,
+    "fig9": fig9_performance,
+    "table2": table2_migrated,
+    "fig10": fig10_power,
+    "fig11": fig11_trace_cdf,
+}
 
 
 @dataclass
@@ -42,12 +53,39 @@ def _band(value: float, lo: float, hi: float) -> bool:
     return lo <= value <= hi
 
 
-def run() -> List[Check]:
+def cells() -> List[Cell]:
+    """Every sub-experiment's cells, concatenated (default parameters)."""
+    out: List[Cell] = []
+    for module in SUB_EXPERIMENTS.values():
+        out.extend(module.cells())
+    return out
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> List[Check]:
+    """Regroup cell results per sub-experiment, then grade the claims."""
+    grouped: Dict[str, List] = {name: [[], []] for name in SUB_EXPERIMENTS}
+    for cell, value in zip(cell_list, values):
+        grouped[cell.experiment][0].append(cell)
+        grouped[cell.experiment][1].append(value)
+    data = {
+        name: SUB_EXPERIMENTS[name].merge(cs, vs)
+        for name, (cs, vs) in grouped.items()
+    }
+    return _grade(data)
+
+
+def run(jobs: int = 0) -> List[Check]:
     """Execute every experiment and grade the claims."""
+    cs = cells()
+    return merge(cs, run_cells(cs, jobs=jobs))
+
+
+def _grade(data: Dict[str, Any]) -> List[Check]:
+    """Grade every paper claim against its merged experiment data."""
     checks: List[Check] = []
 
     # ---- §III-E (calibration anchor) -----------------------------------
-    rep = section3e_redundancy.run()
+    rep = data["sec3e"]
     checks.append(Check(
         "sec3e", "771 MB / 68.4 % of the OS never accessed",
         f"{rep.never_accessed_bytes / MB:.1f} MB / "
@@ -67,7 +105,7 @@ def run() -> List[Check]:
     ))
 
     # ---- Table I (calibration anchor) ------------------------------------
-    t1 = table1_overheads.run()
+    t1 = data["table1"]
     vm_t = t1["Android VM"]["setup_time_s"]
     non_t = t1["CAC (non-optimized)"]["setup_time_s"]
     opt_t = t1["CAC (optimized)"]["setup_time_s"]
@@ -94,7 +132,7 @@ def run() -> List[Check]:
     ))
 
     # ---- Fig. 9 (emergent) -------------------------------------------------
-    f9 = fig9_performance.run()
+    f9 = data["fig9"]
     prep_wo = [p["vm"]["preparation"] / p["rattrap-wo"]["preparation"] for p in f9.values()]
     prep_rt = [p["vm"]["preparation"] / p["rattrap"]["preparation"] for p in f9.values()]
     checks.append(Check(
@@ -124,7 +162,7 @@ def run() -> List[Check]:
     ))
 
     # ---- Table II (calibration anchor) ---------------------------------------
-    t2 = table2_migrated.run()
+    t2 = data["table2"]
     worst = 0.0
     for workload, per_platform in t2.items():
         for platform in ("vm", "rattrap"):
@@ -138,7 +176,7 @@ def run() -> List[Check]:
     ))
 
     # ---- Fig. 10 (emergent) ------------------------------------------------------
-    f10 = fig10_power.run()
+    f10 = data["fig10"]
     lan = {w: d["lan-wifi"]["vm"] / d["lan-wifi"]["rattrap"] for w, d in f10.items()}
     checks.append(Check(
         "fig10", "ChessGame LAN VM/Rattrap energy 1.37x; OCR 1.22x",
@@ -161,7 +199,7 @@ def run() -> List[Check]:
     ))
 
     # ---- Fig. 11 (emergent) ----------------------------------------------------------
-    f11 = fig11_trace_cdf.run()
+    f11 = data["fig11"]
     checks.append(Check(
         "fig11", ">3x shares ~54/50.8/11.5 % (Rattrap/W-O/VM)",
         f"{100 * f11['rattrap']['above_3x']:.1f}/"

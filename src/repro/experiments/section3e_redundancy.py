@@ -8,21 +8,38 @@ accessed; /system is 985 MB (87.4 % of the OS); the redundancy counts
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 from ..analysis import render_table
 from ..android import AccessProfiler, RedundancyReport, build_android_image, redundancy_report
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report"]
+__all__ = ["run", "report", "cells", "merge"]
 
 
-def run() -> RedundancyReport:
+def profile_cell() -> RedundancyReport:
     """Profile boot + offloading accesses over the synthetic image."""
     image = build_android_image()
     profiler = AccessProfiler(image)
     profiler.simulate_boot()
     profiler.simulate_offloading()
     return redundancy_report(image)
+
+
+def cells() -> List[Cell]:
+    """A single profiling cell (the experiment is one measurement)."""
+    return [Cell(experiment="sec3e", key=("redundancy",), fn=profile_cell)]
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> RedundancyReport:
+    """A single cell: the report passes through."""
+    return values[0]
+
+
+def run(jobs: int = 0) -> RedundancyReport:
+    """Profile boot + offloading accesses over the synthetic image."""
+    cs = cells()
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(rep: RedundancyReport) -> str:

@@ -15,47 +15,83 @@ the 16x runtime-preparation result depends on neither.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, List, Optional
 
 from ..analysis import phase_means, render_table
 from ..network import make_link
 from ..offload import run_inflow_experiment
 from ..platform import RattrapPlatform, VMCloudPlatform
 from ..sim import Environment
-from ..workloads import LINPACK, VIRUS_SCAN, generate_inflow
+from ..workloads import generate_inflow, get_profile
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report", "CPU_TAX_SWEEP", "IO_TAX_SWEEP"]
+__all__ = ["run", "report", "cells", "merge", "CPU_TAX_SWEEP", "IO_TAX_SWEEP"]
 
 CPU_TAX_SWEEP = (1.0, 0.97, 0.92, 0.85)
 IO_TAX_SWEEP = (1.0, 1.3, 1.6, 2.0)
 
 
-def _vm_exec(profile, cpu_tax=None, io_tax=None, seed=1) -> float:
+def vm_exec_cell(
+    profile: str,
+    cpu_tax: Optional[float] = None,
+    io_tax: Optional[float] = None,
+    seed: int = 1,
+) -> float:
+    """Mean VM-cloud execution seconds under the given taxes."""
     env = Environment()
     platform = VMCloudPlatform(env, cpu_tax=cpu_tax, io_tax=io_tax)
-    plans = generate_inflow(profile, devices=5, requests_per_device=10, seed=seed)
+    plans = generate_inflow(
+        get_profile(profile), devices=5, requests_per_device=10, seed=seed
+    )
     results = run_inflow_experiment(env, platform, plans, make_link("lan-wifi"))
     return phase_means(results).execution
 
 
-def _rattrap_exec(profile, seed=1) -> float:
+def rattrap_exec_cell(profile: str, seed: int = 1) -> float:
+    """Mean Rattrap execution seconds (the speedup denominator)."""
     env = Environment()
     platform = RattrapPlatform(env)
-    plans = generate_inflow(profile, devices=5, requests_per_device=10, seed=seed)
+    plans = generate_inflow(
+        get_profile(profile), devices=5, requests_per_device=10, seed=seed
+    )
     results = run_inflow_experiment(env, platform, plans, make_link("lan-wifi"))
     return phase_means(results).execution
 
 
-def run(seed: int = 1) -> Dict[str, Dict[float, float]]:
-    """Execution speedups (VM/Rattrap) across the two tax sweeps."""
-    rt_linpack = _rattrap_exec(LINPACK, seed)
-    rt_virus = _rattrap_exec(VIRUS_SCAN, seed)
+def cells(seed: int = 1) -> List[Cell]:
+    """Two Rattrap baselines plus one VM cell per swept tax value."""
+    out = [
+        Cell("sensitivity", ("rattrap", "linpack"), rattrap_exec_cell,
+             {"profile": "linpack", "seed": seed}),
+        Cell("sensitivity", ("rattrap", "virusscan"), rattrap_exec_cell,
+             {"profile": "virusscan", "seed": seed}),
+    ]
+    for tax in CPU_TAX_SWEEP:
+        out.append(Cell("sensitivity", ("cpu_tax", tax), vm_exec_cell,
+                        {"profile": "linpack", "cpu_tax": tax, "seed": seed}))
+    for tax in IO_TAX_SWEEP:
+        out.append(Cell("sensitivity", ("io_tax", tax), vm_exec_cell,
+                        {"profile": "virusscan", "io_tax": tax, "seed": seed}))
+    return out
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, Dict[float, float]]:
+    """Divide each swept VM time by its Rattrap baseline."""
+    by_key = {cell.key: value for cell, value in zip(cell_list, values)}
+    rt_linpack = by_key[("rattrap", "linpack")]
+    rt_virus = by_key[("rattrap", "virusscan")]
     data: Dict[str, Dict[float, float]] = {"cpu_tax": {}, "io_tax": {}}
     for tax in CPU_TAX_SWEEP:
-        data["cpu_tax"][tax] = _vm_exec(LINPACK, cpu_tax=tax, seed=seed) / rt_linpack
+        data["cpu_tax"][tax] = by_key[("cpu_tax", tax)] / rt_linpack
     for tax in IO_TAX_SWEEP:
-        data["io_tax"][tax] = _vm_exec(VIRUS_SCAN, io_tax=tax, seed=seed) / rt_virus
+        data["io_tax"][tax] = by_key[("io_tax", tax)] / rt_virus
     return data
+
+
+def run(seed: int = 1, jobs: int = 0) -> Dict[str, Dict[float, float]]:
+    """Execution speedups (VM/Rattrap) across the two tax sweeps."""
+    cs = cells(seed=seed)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, Dict[float, float]]) -> str:

@@ -14,7 +14,7 @@ measured from creation until it is connected to the Dispatcher.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from ..analysis import render_table
 from ..android import build_android_image, customize_os
@@ -22,10 +22,18 @@ from ..hostos import CloudServer
 from ..platform.shared_layer import SharedResourceLayer
 from ..runtime import AndroidVM, CloudAndroidContainer
 from ..sim import Environment
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report"]
+__all__ = ["run", "report", "cells", "merge"]
 
 MB = 1024 * 1024
+
+#: display name -> _boot_one kind
+RUNTIME_KINDS = {
+    "Android VM": "android-vm",
+    "CAC (non-optimized)": "cac-nonopt",
+    "CAC (optimized)": "cac-optimized",
+}
 
 
 def _boot_one(kind: str) -> Dict[str, float]:
@@ -52,13 +60,23 @@ def _boot_one(kind: str) -> Dict[str, float]:
     }
 
 
-def run() -> Dict[str, Dict[str, float]]:
+def cells() -> List[Cell]:
+    """One cell per measured runtime kind."""
+    return [
+        Cell(experiment="table1", key=(name,), fn=_boot_one, kwargs={"kind": kind})
+        for name, kind in RUNTIME_KINDS.items()
+    ]
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, Dict[str, float]]:
+    """Reassemble data[runtime name] = overhead row."""
+    return {cell.key[0]: value for cell, value in zip(cell_list, values)}
+
+
+def run(jobs: int = 0) -> Dict[str, Dict[str, float]]:
     """Measure the three runtimes of Table I."""
-    return {
-        "Android VM": _boot_one("android-vm"),
-        "CAC (non-optimized)": _boot_one("cac-nonopt"),
-        "CAC (optimized)": _boot_one("cac-optimized"),
-    }
+    cs = cells()
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, Dict[str, float]]) -> str:

@@ -18,13 +18,13 @@ parameter bulk, dramatically for ChessGame/Linpack.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, List
 
 from ..analysis import render_table
-from ..workloads import ALL_WORKLOADS
-from .common import PLATFORM_NAMES, run_workload_experiment
+from .common import migrated_data_cell, workload_platform_cells
+from .engine import Cell, run_cells
 
-__all__ = ["run", "report", "PAPER_VALUES_KB"]
+__all__ = ["run", "report", "cells", "merge", "PAPER_VALUES_KB"]
 
 KB = 1024
 
@@ -41,19 +41,24 @@ PAPER_VALUES_KB = {
 }
 
 
-def run(seed: int = 1) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """data[workload][platform] = measured up/down KB totals."""
+def cells(seed: int = 1) -> List[Cell]:
+    """One cell per workload × platform."""
+    return workload_platform_cells("table2", migrated_data_cell, seed=seed)
+
+
+def merge(cell_list: List[Cell], values: List[Any]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Reassemble data[workload][platform] = up/down KB totals."""
     data: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for profile in ALL_WORKLOADS:
-        per_platform: Dict[str, Dict[str, float]] = {}
-        for platform in PLATFORM_NAMES:
-            exp = run_workload_experiment(platform, profile, seed=seed)
-            per_platform[platform] = {
-                "upload_kb": sum(r.bytes_up for r in exp.served) / KB,
-                "download_kb": sum(r.bytes_down for r in exp.served) / KB,
-            }
-        data[profile.name] = per_platform
+    for cell, value in zip(cell_list, values):
+        workload, _scenario, platform = cell.key
+        data.setdefault(workload, {})[platform] = value
     return data
+
+
+def run(seed: int = 1, jobs: int = 0) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """data[workload][platform] = measured up/down KB totals."""
+    cs = cells(seed=seed)
+    return merge(cs, run_cells(cs, jobs=jobs))
 
 
 def report(data: Dict[str, Dict[str, Dict[str, float]]]) -> str:

@@ -302,11 +302,13 @@ class CloudPlatform:
             raise ValueError("idle_timeout_s must be positive")
         now = self.env.now
         reaped: List[str] = []
-        for record in self.db.all_records():
+        # Cheap comparisons (activity, idle age) run before the runtime
+        # state check — the reaper scans every record on each tick.
+        for record in self.db._records.values():
             if (
-                record.runtime.is_ready
-                and record.active_requests == 0
+                record.active_requests == 0
                 and now - max(record.last_used, record.created_at) > idle_timeout_s
+                and record.runtime.is_ready
             ):
                 record.runtime.stop()
                 reaped.append(record.cid)

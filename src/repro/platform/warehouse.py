@@ -13,6 +13,7 @@ codes".
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -57,18 +58,15 @@ class AppWarehouse:
         self.capacity_bytes = capacity_bytes
         self._by_reference: Dict[str, CacheEntry] = {}
         self._by_aid: Dict[str, CacheEntry] = {}
-        #: LRU order: least-recently-used first
-        self._lru: List[str] = []
+        #: LRU order: least-recently-used first (O(1) touch/evict)
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
         self.lookups = 0
         self.misses = 0
         self.evictions = 0
 
     def _touch(self, app_id: str) -> None:
-        try:
-            self._lru.remove(app_id)
-        except ValueError:
-            pass
-        self._lru.append(app_id)
+        self._lru[app_id] = None
+        self._lru.move_to_end(app_id)
 
     # -- cache protocol -----------------------------------------------------------
     def reference_for(self, app_id: str, operation: str = "offload") -> str:
@@ -105,7 +103,7 @@ class AppWarehouse:
             )
         # LRU eviction until the new entry fits.
         while self.total_code_bytes() + code_bytes > self.capacity_bytes:
-            victim = self._lru[0]
+            victim = next(iter(self._lru))
             self.evict(victim)
             self.evictions += 1
         entry = CacheEntry(
@@ -125,10 +123,7 @@ class AppWarehouse:
         if entry is None:
             raise KeyError(f"no preserved code for {app_id!r}")
         del self._by_reference[entry.reference]
-        try:
-            self._lru.remove(app_id)
-        except ValueError:  # pragma: no cover - defensive
-            pass
+        self._lru.pop(app_id, None)
 
     # -- CID mapping (dispatcher affinity) ---------------------------------------------
     def register_execution(self, app_id: str, cid: str) -> None:

@@ -128,14 +128,34 @@ class Environment:
                     f"until={horizon!r} lies in the past (now={self._now!r})"
                 )
 
+        # Hot loop: the whole simulation funnels through here, so the heap
+        # is popped directly instead of via peek()/step() round trips —
+        # unless step() has been overridden (e.g. an attached EventTracer),
+        # in which case every event must still flow through it.
+        queue = self._queue
+        pop = heapq.heappop
+        fast = "step" not in self.__dict__ and type(self).step is Environment.step
         try:
             while True:
-                if self.peek() > horizon:
-                    self._now = min(horizon, self.peek())
+                if not queue:
                     if horizon != float("inf"):
                         self._now = horizon
+                        break
+                    raise EmptySchedule()
+                when = queue[0][0]
+                if when > horizon:
+                    self._now = horizon
                     break
-                self.step()
+                if fast:
+                    _, _, event = pop(queue)
+                    self._now = when
+                    event._process()
+                    # Surface failures nobody waited on: silent loss hides
+                    # model bugs (same policy as step()).
+                    if event._exception is not None and not event.defused:
+                        raise event._exception
+                else:
+                    self.step()
         except EmptySchedule:
             if stop_event is not None and not stop_event.triggered:
                 raise SimulationError(

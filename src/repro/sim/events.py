@@ -176,29 +176,30 @@ class Timeout(Event):
 class ConditionEvent(Event):
     """Composite event over several child events.
 
-    ``evaluate(children, done_count)`` decides when the condition is
-    satisfied.  On satisfaction the condition succeeds with a dict
-    mapping each *triggered* child event to its value (insertion
+    The condition is satisfied once ``needed`` children have succeeded
+    (a plain counter — cheaper on the hot path than re-evaluating a
+    predicate per child).  On satisfaction the condition succeeds with
+    a dict mapping each *triggered* child event to its value (insertion
     ordered), mirroring SimPy's ``ConditionValue`` semantics but with a
     plain dict for simplicity.
     """
 
-    __slots__ = ("_children", "_done", "_evaluate")
+    __slots__ = ("_children", "_done", "_needed")
 
     def __init__(
         self,
         env: "Environment",
         children: Iterable[Event],
-        evaluate: Callable[[List[Event], int], bool],
+        needed: int,
     ):
         super().__init__(env)
         self._children = list(children)
         self._done = 0
-        self._evaluate = evaluate
+        self._needed = needed
         for child in self._children:
             if child.env is not env:
                 raise SimulationError("cannot mix events from different environments")
-        if not self._children and evaluate(self._children, 0):
+        if not self._children and needed <= 0:
             self.succeed({})
             return
         for child in self._children:
@@ -219,7 +220,7 @@ class ConditionEvent(Event):
             self.fail(child._exception)
             return
         self._done += 1
-        if self._evaluate(self._children, self._done):
+        if self._done >= self._needed:
             self.succeed(self._collect())
 
 
@@ -227,11 +228,12 @@ class AllOf(ConditionEvent):
     """Succeeds when every child event has succeeded."""
 
     def __init__(self, env: "Environment", children: Iterable[Event]):
-        super().__init__(env, children, lambda ch, n: n == len(ch))
+        children = list(children)
+        super().__init__(env, children, len(children))
 
 
 class AnyOf(ConditionEvent):
     """Succeeds as soon as one child event succeeds."""
 
     def __init__(self, env: "Environment", children: Iterable[Event]):
-        super().__init__(env, children, lambda ch, n: n >= 1 and len(ch) > 0)
+        super().__init__(env, children, 1)

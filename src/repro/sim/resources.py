@@ -13,7 +13,9 @@ The API mirrors SimPy closely so the process code reads idiomatically::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from bisect import insort
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, List, Optional
 
 from .events import Event
 
@@ -76,7 +78,7 @@ class Resource:
         self.env = env
         self._capacity = int(capacity)
         self._users: List[Request] = []
-        self._queue: List[Request] = []
+        self._queue: "Deque[Request] | List[Request]" = deque()
 
     @property
     def capacity(self) -> int:
@@ -112,9 +114,12 @@ class Resource:
         else:
             self._queue.append(request)
 
+    def _pop_next(self) -> Request:
+        return self._queue.popleft()  # type: ignore[union-attr]
+
     def _grant_waiters(self) -> None:
         while self._queue and len(self._users) < self._capacity:
-            nxt = self._queue.pop(0)
+            nxt = self._pop_next()
             self._users.append(nxt)
             nxt.succeed(nxt)
 
@@ -138,6 +143,7 @@ class PriorityResource(Resource):
 
     def __init__(self, env: "Environment", capacity: int = 1):
         super().__init__(env, capacity)
+        self._queue = []  # kept sorted by (priority, arrival order)
         self._order_seq = 0
 
     def _next_order(self) -> int:
@@ -147,14 +153,18 @@ class PriorityResource(Resource):
     def request(self, priority: float = 0.0) -> PriorityRequest:  # type: ignore[override]
         return PriorityRequest(self, priority)
 
+    def _pop_next(self) -> Request:
+        return self._queue.pop(0)  # type: ignore[union-attr]
+
     def _do_request(self, request: Request) -> None:
         """Claim a slot with a priority (lower = served first)."""
         if len(self._users) < self._capacity:
             self._users.append(request)
             request.succeed(request)
         else:
-            self._queue.append(request)  # type: ignore[arg-type]
-            self._queue.sort(key=lambda r: r._sort_key())  # type: ignore[attr-defined]
+            # insort keeps the queue ordered without re-sorting it on
+            # every arrival (the old O(n log n) per request).
+            insort(self._queue, request, key=lambda r: r._sort_key())  # type: ignore[arg-type]
 
 
 class ContainerPut(Event):
@@ -197,8 +207,8 @@ class Container:
         self.env = env
         self._capacity = float(capacity)
         self._level = float(init)
-        self._puts: List[ContainerPut] = []
-        self._gets: List[ContainerGet] = []
+        self._puts: Deque[ContainerPut] = deque()
+        self._gets: Deque[ContainerGet] = deque()
 
     @property
     def capacity(self) -> float:
@@ -231,12 +241,12 @@ class Container:
         while progress:
             progress = False
             if self._puts and self._level + self._puts[0].amount <= self._capacity:
-                ev = self._puts.pop(0)
+                ev = self._puts.popleft()
                 self._level += ev.amount
                 ev.succeed()
                 progress = True
             if self._gets and self._gets[0].amount <= self._level:
-                ev = self._gets.pop(0)
+                ev = self._gets.popleft()
                 self._level -= ev.amount
                 ev.succeed()
                 progress = True
@@ -271,7 +281,7 @@ class Store:
         self.env = env
         self._capacity = capacity
         self.items: List[Any] = []
-        self._puts: List[StorePut] = []
+        self._puts: Deque[StorePut] = deque()
         self._gets: List[StoreGet] = []
 
     @property
@@ -301,7 +311,7 @@ class Store:
             progress = False
             # Admit pending puts while capacity allows.
             while self._puts and len(self.items) < self._capacity:
-                ev = self._puts.pop(0)
+                ev = self._puts.popleft()
                 self.items.append(ev.item)
                 ev.succeed()
                 progress = True

@@ -31,6 +31,14 @@ class Layer:
         self.read_only = read_only
         self._files: Dict[str, FileNode] = {}
         self._whiteouts: Set[str] = set()
+        #: bumped on every visibility-affecting mutation so union mounts
+        #: can cache resolution results and cheaply detect staleness
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter of visibility-affecting mutations."""
+        return self._generation
 
     # -- mutation --------------------------------------------------------------
     def _check_writable(self) -> None:
@@ -42,6 +50,7 @@ class Layer:
         self._check_writable()
         self._files[node.path] = node
         self._whiteouts.discard(node.path)
+        self._generation += 1
         return node
 
     def add_file(self, path: str, size: int, category: str = "", **kw) -> FileNode:
@@ -59,6 +68,7 @@ class Layer:
         if path not in self._files:
             raise LayerError(f"{path} not in layer {self.name!r}")
         del self._files[path]
+        self._generation += 1
 
     def whiteout(self, path: str) -> None:
         """Hide ``path`` from lower layers (and drop a local copy if any)."""
@@ -66,6 +76,7 @@ class Layer:
         path = normalize_path(path)
         self._files.pop(path, None)
         self._whiteouts.add(path)
+        self._generation += 1
 
     def seal(self) -> "Layer":
         """Make the layer immutable (shared layers are sealed)."""

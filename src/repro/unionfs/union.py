@@ -10,12 +10,15 @@ system level".
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .inode import FileNode, normalize_path
 from .layer import Layer
 
 __all__ = ["UnionMount", "UnionError"]
+
+#: cache sentinel distinguishing "not cached" from a cached None
+_MISS = object()
 
 
 class UnionError(RuntimeError):
@@ -36,6 +39,23 @@ class UnionMount:
             raise UnionError("a union mount needs at least one layer")
         if self._layers[0].read_only:
             raise UnionError("the top layer must be writable")
+        # Resolution caches, valid only while every layer generation is
+        # unchanged.  write()/delete() bump the top layer's generation,
+        # and direct Layer mutations bump theirs, so staleness is a
+        # cheap tuple comparison instead of a per-read layer scan.
+        self._cache_gens: Optional[Tuple[int, ...]] = None
+        self._resolve_cache: Dict[str, Optional[FileNode]] = {}
+        self._provider_cache: Dict[str, Optional[Layer]] = {}
+        self._visible_cache: Optional[List[str]] = None
+
+    def _fresh_caches(self) -> None:
+        """Invalidate the memoized views if any layer has mutated."""
+        gens = tuple(layer._generation for layer in self._layers)
+        if gens != self._cache_gens:
+            self._cache_gens = gens
+            self._resolve_cache.clear()
+            self._provider_cache.clear()
+            self._visible_cache = None
 
     # -- structure ---------------------------------------------------------------
     @property
@@ -54,13 +74,20 @@ class UnionMount:
     def resolve(self, path: str) -> Optional[FileNode]:
         """The visible file at ``path``, honouring whiteouts; None if absent."""
         path = normalize_path(path)
+        self._fresh_caches()
+        cached = self._resolve_cache.get(path, _MISS)
+        if cached is not _MISS:
+            return cached  # type: ignore[return-value]
+        result: Optional[FileNode] = None
         for layer in self._layers:
-            node = layer.get(path)
+            node = layer._files.get(path)
             if node is not None:
-                return node
-            if layer.hides(path):
-                return None
-        return None
+                result = node
+                break
+            if path in layer._whiteouts:
+                break
+        self._resolve_cache[path] = result
+        return result
 
     def exists(self, path: str) -> bool:
         """Is ``path`` visible through the mount?"""
@@ -69,25 +96,35 @@ class UnionMount:
     def provider(self, path: str) -> Optional[Layer]:
         """Which layer supplies the visible copy of ``path``."""
         path = normalize_path(path)
+        self._fresh_caches()
+        cached = self._provider_cache.get(path, _MISS)
+        if cached is not _MISS:
+            return cached  # type: ignore[return-value]
+        result: Optional[Layer] = None
         for layer in self._layers:
-            if layer.has(path):
-                return layer
-            if layer.hides(path):
-                return None
-        return None
+            if path in layer._files:
+                result = layer
+                break
+            if path in layer._whiteouts:
+                break
+        self._provider_cache[path] = result
+        return result
 
     def visible_paths(self) -> List[str]:
         """Every path visible through the mount (merged view)."""
-        seen: Set[str] = set()
-        hidden: Set[str] = set()
-        out: List[str] = []
-        for layer in self._layers:
-            for node in layer.files():
-                if node.path not in seen and node.path not in hidden:
-                    seen.add(node.path)
-                    out.append(node.path)
-            hidden |= set(layer.whiteouts())
-        return sorted(out)
+        self._fresh_caches()
+        if self._visible_cache is None:
+            seen: Set[str] = set()
+            hidden: Set[str] = set()
+            out: List[str] = []
+            for layer in self._layers:
+                for node in layer.files():
+                    if node.path not in seen and node.path not in hidden:
+                        seen.add(node.path)
+                        out.append(node.path)
+                hidden |= layer._whiteouts
+            self._visible_cache = sorted(out)
+        return list(self._visible_cache)
 
     def iter_visible(self) -> Iterator[FileNode]:
         """Iterate the merged view's file nodes."""

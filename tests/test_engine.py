@@ -1,0 +1,135 @@
+"""Tests for the parallel experiment engine (cells, fan-out, bench)."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    BENCH_SCHEMA_VERSION,
+    Cell,
+    benchmark_payload,
+    collect_timings,
+    default_jobs,
+    fig9_performance,
+    run_cells,
+    table2_migrated,
+)
+from repro.experiments import engine
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+
+
+def _square(x):
+    return x * x
+
+
+def _cells(n=4):
+    return [
+        Cell(experiment="toy", key=(i,), fn=_square, kwargs={"x": i})
+        for i in range(n)
+    ]
+
+
+# ---------------------------------------------------------------- run_cells
+def test_run_cells_serial_order():
+    assert run_cells(_cells(), jobs=0) == [0, 1, 4, 9]
+    assert run_cells(_cells(), jobs=1) == [0, 1, 4, 9]
+
+
+def test_run_cells_empty():
+    assert run_cells([], jobs=4) == []
+
+
+def test_run_cells_rejects_negative_jobs():
+    with pytest.raises(ValueError):
+        run_cells(_cells(), jobs=-1)
+
+
+def test_run_cells_parallel_matches_serial():
+    assert run_cells(_cells(8), jobs=4) == run_cells(_cells(8), jobs=0)
+
+
+def test_run_cells_jobs_none_uses_cpu_count():
+    assert default_jobs() >= 1
+    assert run_cells(_cells(), jobs=None) == [0, 1, 4, 9]
+
+
+def test_run_cells_falls_back_to_serial_when_pool_unavailable(monkeypatch):
+    def broken_pool(cells, workers):
+        raise OSError("no process pool in this sandbox")
+
+    monkeypatch.setattr(engine, "_run_pool", broken_pool)
+    assert run_cells(_cells(), jobs=4) == [0, 1, 4, 9]
+
+
+def test_collect_timings_records_every_cell():
+    with collect_timings() as timings:
+        run_cells(_cells(3), jobs=0)
+    assert [(t.experiment, t.key) for t in timings] == [
+        ("toy", (0,)), ("toy", (1,)), ("toy", (2,)),
+    ]
+    assert all(t.wall_s >= 0 for t in timings)
+
+
+def test_timings_dropped_outside_collector():
+    with collect_timings() as timings:
+        pass
+    run_cells(_cells(2), jobs=0)
+    assert timings == []
+
+
+# ---------------------------------------------- experiment-level determinism
+@pytest.mark.parametrize("module", [fig9_performance, table2_migrated],
+                         ids=["fig9", "table2"])
+def test_experiment_parallel_identical_to_serial(module):
+    serial = module.run(jobs=0)
+    parallel = module.run(jobs=4)
+    assert parallel == serial
+    assert module.report(parallel) == module.report(serial)
+
+
+def test_every_experiment_exposes_cells_protocol():
+    for name, (module, _) in EXPERIMENTS.items():
+        assert callable(getattr(module, "cells")), name
+        assert callable(getattr(module, "merge")), name
+        cs = module.cells()
+        assert cs, name
+        assert all(isinstance(c, Cell) for c in cs), name
+
+
+def test_run_experiment_jobs_flag_identical():
+    assert run_experiment("fig6", jobs=2) == run_experiment("fig6", jobs=0)
+
+
+# ------------------------------------------------------------ bench artifact
+def test_benchmark_payload_schema():
+    with collect_timings() as timings:
+        run_cells(_cells(2), jobs=0)
+    payload = benchmark_payload(
+        [{"name": "toy", "wall_s": 0.5, "timings": timings}],
+        jobs=0,
+        total_wall_s=0.5,
+    )
+    assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+    assert set(payload) == {
+        "schema_version", "jobs", "cpu_count", "total_wall_s", "experiments",
+    }
+    (row,) = payload["experiments"]
+    assert set(row) == {"name", "wall_s", "cells"}
+    assert row["cells"] == [
+        {"key": [0], "wall_s": timings[0].wall_s},
+        {"key": [1], "wall_s": timings[1].wall_s},
+    ]
+
+
+def test_runner_bench_writes_stable_schema(tmp_path, capsys):
+    bench = tmp_path / "BENCH_experiments.json"
+    assert main(["--bench", str(bench), "sec3e"]) == 0
+    payload = json.loads(bench.read_text())
+    assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+    assert payload["jobs"] == 0
+    assert payload["total_wall_s"] > 0
+    (row,) = payload["experiments"]
+    assert row["name"] == "sec3e"
+    assert row["cells"] and all(
+        set(c) == {"key", "wall_s"} for c in row["cells"]
+    )

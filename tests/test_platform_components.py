@@ -79,6 +79,25 @@ def test_warehouse_evict():
         wh.evict("ocr")
 
 
+def test_warehouse_lru_eviction_order():
+    # Capacity fits three entries; touching "a" must spare it so the
+    # least-recently-used "b" is evicted first, then "c".
+    wh = AppWarehouse(capacity_bytes=300)
+    wh.store("a", 100)
+    wh.store("b", 100)
+    wh.store("c", 100)
+    assert wh.lookup("a") is not None  # refresh "a"
+    wh.store("d", 100)  # evicts "b"
+    assert wh.has_code("a") and wh.has_code("c") and wh.has_code("d")
+    assert not wh.has_code("b")
+    assert wh.evictions == 1
+    wh.store("e", 200)  # evicts "c" then "a" (in LRU order)
+    assert not wh.has_code("c") and not wh.has_code("a")
+    assert wh.has_code("d") and wh.has_code("e")
+    assert wh.evictions == 3
+    assert wh.total_code_bytes() == 300
+
+
 def test_warehouse_total_bytes_and_len():
     wh = AppWarehouse()
     wh.store("a", 100)

@@ -306,3 +306,50 @@ def test_union_resolution_invariants(paths, data):
         assert prov is not None
         if m.top.has(p):
             assert prov is m.top
+
+
+# ------------------------------------------------------- resolution cache
+def test_union_cache_invalidated_by_write(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    assert m.resolve("/data/x") is None
+    m.write("/data/x", 50)
+    node = m.resolve("/data/x")
+    assert node is not None and node.size == 50
+    # Copy-up write over a cached lower-layer hit must re-resolve too.
+    assert m.resolve("/system/lib/libc.so").size == 1000
+    m.write("/system/lib/libc.so", 1200)
+    assert m.resolve("/system/lib/libc.so").size == 1200
+    assert m.provider("/system/lib/libc.so") is m.top
+
+
+def test_union_cache_invalidated_by_delete_whiteout(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    assert m.resolve("/init") is not None
+    assert "/init" in m.visible_paths()
+    m.delete("/init")  # lower-layer file -> whiteout in the top layer
+    assert m.resolve("/init") is None
+    assert m.provider("/init") is None
+    assert "/init" not in m.visible_paths()
+
+
+def test_union_cache_sees_direct_lower_layer_mutation():
+    base = Layer("android-base")
+    base.add_file("/system/a", 10)
+    m = UnionMount("m", [Layer("t"), base])
+    assert m.resolve("/system/b") is None
+    # Mutating a shared (unsealed) lower layer bumps its generation;
+    # every mount's cache must notice without being written through.
+    base.add_file("/system/b", 20)
+    assert m.resolve("/system/b").size == 20
+    assert "/system/b" in m.visible_paths()
+
+
+def test_union_byte_accounting_stable_under_cached_reads(base_layer):
+    m = UnionMount("m", [Layer("t"), base_layer])
+    m.write("/data/x", 50)
+    before = (m.visible_bytes(), m.shared_bytes(), m.private_bytes())
+    for _ in range(3):  # repeated resolution through the cache
+        m.resolve("/data/x")
+        m.visible_paths()
+    assert (m.visible_bytes(), m.shared_bytes(), m.private_bytes()) == before
+    assert before == (6150, 6100, 50)
