@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments
+.PHONY: test bench experiments chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Run the opt-in fault-injection experiment (not part of the default
+## suite; see docs/ROBUSTNESS.md).
+chaos:
+	$(PYTHON) -m repro.experiments.runner chaos
 
 ## Run every experiment and write BENCH_experiments.json with
 ## per-cell and per-experiment wall-clock (JOBS=N to parallelize).

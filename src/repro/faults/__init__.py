@@ -1,0 +1,32 @@
+"""Deterministic fault injection and the failure taxonomy.
+
+The paper evaluates Rattrap on one healthy server; a production mobile
+cloud loses runtimes, servers and links at runtime.  This package
+makes those failures *first-class inputs*: a seeded
+:class:`FaultInjector` drives declarative :class:`FaultPlan`\\ s
+(runtime crash mid-request, server outage windows, link blackouts)
+against the platform, and the recovery machinery — dispatcher re-boot,
+cluster failover, client retry — turns them back into served requests.
+"""
+
+from .errors import (
+    CodeUploadAborted,
+    FaultError,
+    LinkBlackout,
+    NodeDown,
+    RuntimeCrashed,
+)
+from .injector import FaultInjector
+from .plan import FAULT_KINDS, Fault, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultError",
+    "RuntimeCrashed",
+    "NodeDown",
+    "LinkBlackout",
+    "CodeUploadAborted",
+]

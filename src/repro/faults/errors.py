@@ -1,0 +1,61 @@
+"""Failure taxonomy shared by the fault injector and the recovery paths.
+
+Every fault the platform can recover from maps onto one exception
+class.  The offload client's retry policy keys on :class:`FaultError`
+(directly, or as the ``cause`` of a :class:`~repro.sim.events.Interrupt`
+thrown into an in-flight request) to decide whether a failed attempt is
+*retryable*; anything outside this hierarchy — out-of-memory, kernel
+misuse, model bugs — still propagates and fails the run loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "FaultError",
+    "RuntimeCrashed",
+    "NodeDown",
+    "LinkBlackout",
+    "CodeUploadAborted",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class of recoverable, injected-fault failures."""
+
+
+class RuntimeCrashed(FaultError):
+    """A runtime environment died (mid-boot or mid-request)."""
+
+    def __init__(self, cid: str, reason: str = "fault"):
+        super().__init__(f"runtime {cid} crashed ({reason})")
+        self.cid = cid
+        self.reason = reason
+
+
+class NodeDown(FaultError):
+    """A cloud server is inside an outage window."""
+
+    def __init__(self, node: str, reason: str = "outage"):
+        super().__init__(f"node {node} down ({reason})")
+        self.node = node
+        self.reason = reason
+
+
+class LinkBlackout(FaultError):
+    """The device's network link is inside a blackout window."""
+
+    def __init__(self, device_id: Optional[str] = None):
+        target = device_id if device_id else "all devices"
+        super().__init__(f"link blackout ({target})")
+        self.device_id = device_id
+
+
+class CodeUploadAborted(FaultError):
+    """The request carrying an app's code died before the upload
+    finished; waiters must re-request so a survivor re-sends it."""
+
+    def __init__(self, app_id: str):
+        super().__init__(f"code upload for {app_id!r} aborted")
+        self.app_id = app_id

@@ -1,0 +1,123 @@
+"""Seeded fault injection into a running platform.
+
+The :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.plan.FaultPlan` into scheduled simulation
+processes against a platform (or a whole
+:class:`~repro.platform.cluster.ClusterPlatform`): runtime crashes go
+through :meth:`CloudPlatform.crash_runtime`, outages through
+``fail_node``/``restore_node``, and link blackouts sever in-flight
+requests and answer the client's ``link_down`` probe for the window.
+
+All victim selection draws from one named stream of the plan's seed,
+so a fixed (plan, inflow) pair replays byte-identically — chaos runs
+are regression-guarded like any other experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
+
+from ..sim.rng import RandomStreams
+from .errors import LinkBlackout
+from .plan import Fault, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Drives one :class:`FaultPlan` against an attached platform."""
+
+    def __init__(self, env: "Environment", plan: FaultPlan):
+        self.env = env
+        self.plan = plan
+        self.rng = RandomStreams(plan.seed).get("faults.victim")
+        #: platforms the injector can reach (cluster nodes or [platform])
+        self._nodes: List[Any] = []
+        #: device id (or "*") -> latest blackout end time
+        self._blackouts: Dict[str, float] = {}
+        #: audit log of what was actually injected (kind, time, target)
+        self.injected: List[Dict[str, Any]] = []
+        #: faults that found no viable victim (nothing busy to crash)
+        self.skipped = 0
+        env.faults = self
+
+    # -- wiring ------------------------------------------------------------------
+    def attach(self, platform: Any) -> "FaultInjector":
+        """Arm the plan against ``platform`` (a CloudPlatform or a
+        ClusterPlatform — anything exposing ``nodes`` or acting as one)."""
+        nodes = getattr(platform, "nodes", None)
+        self._nodes = list(nodes) if nodes is not None else [platform]
+        for fault in self.plan.faults:
+            if fault.node >= len(self._nodes):
+                raise ValueError(
+                    f"fault targets node {fault.node} but only "
+                    f"{len(self._nodes)} node(s) attached"
+                )
+            self.env.process(self._arm(fault))
+        return self
+
+    # -- queries (client side) ---------------------------------------------------
+    def link_down(self, device_id: str) -> bool:
+        """Is this device inside an active link-blackout window?"""
+        now = self.env.now
+        if now < self._blackouts.get("*", 0.0):
+            return True
+        return now < self._blackouts.get(device_id, 0.0)
+
+    # -- injection processes -----------------------------------------------------
+    def _arm(self, fault: Fault) -> Generator:
+        if fault.at_s > 0:
+            yield self.env.timeout(fault.at_s)
+        if fault.kind == "runtime-crash":
+            self._inject_crash(fault)
+        elif fault.kind == "node-outage":
+            node = self._nodes[fault.node]
+            node.fail_node(reason="injected outage")
+            self._log(fault, target=f"node-{fault.node}")
+            if fault.duration_s > 0:
+                yield self.env.timeout(fault.duration_s)
+                node.restore_node()
+        elif fault.kind == "link-blackout":
+            key = fault.device_id if fault.device_id is not None else "*"
+            end = self.env.now + fault.duration_s
+            self._blackouts[key] = max(self._blackouts.get(key, 0.0), end)
+            exc = LinkBlackout(fault.device_id)
+            for node in self._nodes:
+                node.interrupt_inflight(
+                    lambda req, key=key: key == "*" or req.device_id == key, exc
+                )
+            self._log(fault, target=key)
+
+    def _inject_crash(self, fault: Fault) -> None:
+        node = self._nodes[fault.node]
+        cid = fault.cid if fault.cid is not None else self._pick_victim(node)
+        if cid is None:
+            self.skipped += 1
+            return
+        if node.crash_runtime(cid, reason="injected crash"):
+            self._log(fault, target=cid)
+        else:
+            self.skipped += 1
+
+    def _pick_victim(self, node: Any) -> Optional[str]:
+        """Seeded pick among live runtimes, busiest tier first."""
+        from ..runtime.base import RuntimeState
+
+        live = [
+            r
+            for r in node.db.all_records()
+            if r.runtime.state in (RuntimeState.BOOTING, RuntimeState.READY)
+        ]
+        if not live:
+            return None
+        busy = [r for r in live if r.active_requests > 0]
+        pool = sorted(busy or live, key=lambda r: r.cid)
+        return pool[int(self.rng.integers(len(pool)))].cid
+
+    def _log(self, fault: Fault, target: str) -> None:
+        self.injected.append(
+            {"kind": fault.kind, "at_s": self.env.now, "target": target}
+        )

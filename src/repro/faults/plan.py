@@ -1,0 +1,99 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is data, not behaviour: an ordered collection of
+:class:`Fault` records saying *what* breaks and *when*, plus the seed
+that drives any randomized choice (victim selection among busy
+runtimes).  The same plan against the same inflow produces byte-
+identical outcomes, which is what lets the chaos experiment guard
+recovery behaviour the same way the paper experiments guard
+performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["Fault", "FaultPlan", "FAULT_KINDS"]
+
+#: the three fault classes of the robustness model
+FAULT_KINDS: Tuple[str, ...] = ("runtime-crash", "node-outage", "link-blackout")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    - ``runtime-crash``: at ``at_s``, kill one runtime on node ``node``
+      (an explicit ``cid``, else a seeded pick among busy runtimes);
+    - ``node-outage``: node ``node`` goes down at ``at_s`` and, when
+      ``duration_s`` > 0, comes back after the window;
+    - ``link-blackout``: ``device_id``'s link (all devices when None)
+      is dead for ``duration_s`` starting at ``at_s``.
+    """
+
+    kind: str
+    at_s: float
+    duration_s: float = 0.0
+    node: int = 0
+    cid: Optional[str] = None
+    device_id: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.kind == "link-blackout" and self.duration_s <= 0:
+            raise ValueError("a link-blackout needs a positive duration_s")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered set of faults to inject into one run."""
+
+    faults: Tuple[Fault, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        # Accept any iterable of faults but store an immutable tuple.
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @classmethod
+    def single_node_outage(
+        cls, node: int = 0, at_s: float = 10.0, duration_s: float = 20.0, seed: int = 0
+    ) -> "FaultPlan":
+        """The canonical failover scenario: one server down for a window."""
+        return cls((Fault("node-outage", at_s=at_s, duration_s=duration_s, node=node),), seed)
+
+    @classmethod
+    def runtime_crashes(
+        cls, times: Sequence[float], nodes: Optional[Sequence[int]] = None, seed: int = 0
+    ) -> "FaultPlan":
+        """Crash one (seeded-pick) busy runtime at each listed time."""
+        faults = tuple(
+            Fault("runtime-crash", at_s=t, node=(nodes[i] if nodes else 0))
+            for i, t in enumerate(times)
+        )
+        return cls(faults, seed)
+
+    @classmethod
+    def link_blackout(
+        cls,
+        device_id: Optional[str],
+        at_s: float,
+        duration_s: float,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """One device's link (or every link, device_id=None) goes dark."""
+        return cls(
+            (Fault("link-blackout", at_s=at_s, duration_s=duration_s, device_id=device_id),),
+            seed,
+        )

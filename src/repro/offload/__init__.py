@@ -5,6 +5,7 @@ from .client import (
     replay_hybrid,
     replay_inflow,
     replay_with_deadline,
+    replay_with_retry,
     run_inflow_experiment,
 )
 from .decision import DecisionEngine, OffloadEstimate
@@ -12,6 +13,7 @@ from .device import MobileDevice
 from .messages import KB, Message, MessageKind, result_message, upload_messages
 from .power import RADIO_PARAMS, EnergyBreakdown, PowerModel, RadioParams
 from .request import OffloadRequest, Phase, PhaseTimeline, RequestResult
+from .retry import RetryPolicy, is_retryable
 
 __all__ = [
     "Message",
@@ -34,5 +36,8 @@ __all__ = [
     "replay_closed_loop",
     "replay_hybrid",
     "replay_with_deadline",
+    "replay_with_retry",
     "run_inflow_experiment",
+    "RetryPolicy",
+    "is_retryable",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "replay_closed_loop",
     "replay_hybrid",
     "replay_with_deadline",
+    "replay_with_retry",
     "run_inflow_experiment",
 ]
 
@@ -62,26 +63,121 @@ def replay_with_deadline(
             if plan.gap_s > 0:
                 yield env.timeout(plan.gap_s)
             request = plan.request
+            submitted = env.now
             proc = platform.submit(request, device.link)
             proc.defused = True
             expiry = env.timeout(deadline_s)
             outcome = yield env.any_of([proc, expiry])
-            if proc in outcome:
+            if proc in outcome or proc.ok:
+                # Completed — possibly in the same tick the deadline
+                # fired, in which case the condition only saw the
+                # expiry but the response exists all the same and must
+                # not be thrown away.
                 result = proc.value
                 if not result.blocked:
                     device.account_offload(result)
             else:
                 if proc.is_alive:
                     proc.interrupt("client deadline exceeded")
-                started = env.now
                 yield env.process(device.execute_locally(env, request.profile))
                 result = RequestResult(
                     request=request,
                     timeline=PhaseTimeline(),
-                    started_at=started - deadline_s,
+                    started_at=submitted,
                     finished_at=env.now,
                     executed_locally=True,
                     deadline_aborted=True,
+                )
+            collected.append(result)
+        return collected
+
+    drivers = [
+        env.process(drive(device_id, seq)) for device_id, seq in per_device.items()
+    ]
+    done = yield env.all_of(drivers)
+    results = [r for batch in done.values() for r in batch]
+    results.sort(key=lambda r: r.request.request_id)
+    return results
+
+
+def replay_with_retry(
+    env: "Environment",
+    platform: "CloudPlatform",
+    plans: Sequence["ArrivalPlan"],
+    devices: Dict[str, MobileDevice],
+    policy=None,
+    seed: int = 0,
+) -> Generator:
+    """Closed-loop replay with failure-aware retry (chaos client).
+
+    Every attempt that fails *retryably* — an injected fault
+    (:class:`~repro.faults.errors.FaultError`), directly or as the
+    cause of the interrupt that severed the request — is retried after
+    capped exponential backoff with seeded jitter.  During a link
+    blackout the client does not even reach the cloud; the attempt is
+    burned and the backoff runs.  Once the policy's attempts are
+    exhausted the task executes locally, so the user always gets an
+    answer.  Results carry honest end-to-end timing (``started_at`` is
+    the *first* submission) and the ``attempts`` count.
+
+    Non-retryable failures (OOM, model bugs) propagate unchanged.
+    """
+    from ..sim.rng import RandomStreams
+    from .request import PhaseTimeline
+    from .retry import RetryPolicy, is_retryable
+
+    if policy is None:
+        policy = RetryPolicy()
+    rng = RandomStreams(seed).get("client.retry")
+    per_device: Dict[str, list] = {}
+    for plan in plans:
+        per_device.setdefault(plan.device_id, []).append(plan)
+    for seq in per_device.values():
+        seq.sort(key=lambda p: p.request.seq_on_device)
+    missing = set(per_device) - set(devices)
+    if missing:
+        raise ValueError(f"no device object for: {sorted(missing)}")
+
+    def drive(device_id: str, device_plans) -> Generator:
+        device = devices[device_id]
+        collected = []
+        for plan in device_plans:
+            if plan.gap_s > 0:
+                yield env.timeout(plan.gap_s)
+            request = plan.request
+            first_submit = env.now
+            result = None
+            attempt = 0
+            for attempt in range(1, policy.max_attempts + 1):
+                if attempt > 1:
+                    yield env.timeout(policy.delay_s(attempt - 1, rng))
+                faults = getattr(env, "faults", None)
+                if faults is not None and faults.link_down(device_id):
+                    continue  # unreachable cloud: burn the attempt
+                try:
+                    result = yield platform.submit(request, device.link)
+                except BaseException as exc:
+                    if is_retryable(exc):
+                        result = None
+                        continue
+                    raise
+                break
+            if result is not None:
+                # Honest end-to-end latency: failed attempts and
+                # backoff count against the request.
+                result.started_at = first_submit
+                result.attempts = attempt
+                if not result.blocked:
+                    device.account_offload(result)
+            else:
+                yield env.process(device.execute_locally(env, request.profile))
+                result = RequestResult(
+                    request=request,
+                    timeline=PhaseTimeline(),
+                    started_at=first_submit,
+                    finished_at=env.now,
+                    executed_locally=True,
+                    attempts=policy.max_attempts,
                 )
             collected.append(result)
         return collected

@@ -101,6 +101,8 @@ class RequestResult:
     executed_locally: bool = False
     #: the client aborted the offload at its deadline and fell back
     deadline_aborted: bool = False
+    #: submission attempts the client made for this result (retry client)
+    attempts: int = 1
 
     @property
     def response_time(self) -> float:

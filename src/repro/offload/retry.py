@@ -1,0 +1,74 @@
+"""Client-side retry policy: capped exponential backoff with jitter.
+
+Offloading clients in the field survive runtime crashes, server
+outages and link blackouts by retrying — but an uncoordinated retry
+storm is its own outage.  :class:`RetryPolicy` spaces attempts with
+capped exponential backoff and seeded jitter (drawn from a simulation
+RNG stream, so a fixed seed replays the exact same schedule), and
+:func:`is_retryable` draws the line between failures worth retrying
+and failures that must propagate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults.errors import FaultError
+from ..sim.events import Interrupt
+
+__all__ = ["RetryPolicy", "is_retryable"]
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Should the client retry after this failure?
+
+    Retryable failures are exactly the injected-fault taxonomy: a
+    :class:`~repro.faults.errors.FaultError` raised directly, or
+    carried as the ``cause`` of the :class:`Interrupt` that severed an
+    in-flight request.  Everything else — out-of-memory, kernel
+    misuse, model bugs — still fails the run loudly.
+    """
+    if isinstance(exc, FaultError):
+        return True
+    return isinstance(exc, Interrupt) and isinstance(exc.cause, FaultError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff between offload attempts.
+
+    Attempt ``n`` (1-based) failing retryably is followed by a wait of
+    ``min(base_delay_s * multiplier**(n-1), max_delay_s)``, scaled by a
+    uniform jitter factor in ``[1 - jitter, 1 + jitter]`` when an RNG
+    is supplied.  After ``max_attempts`` total attempts the client
+    falls back to local execution.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.5
+    multiplier: float = 2.0
+    max_delay_s: float = 8.0
+    jitter: float = 0.1
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0:
+            raise ValueError("base_delay_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delay_s(self, attempt: int, rng=None) -> float:
+        """Backoff after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(
+            self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s
+        )
+        if rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay

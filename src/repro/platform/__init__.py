@@ -7,7 +7,7 @@ from .access import (
     RequestAccessController,
 )
 from .base import CloudPlatform
-from .cluster import ClusterPlatform
+from .cluster import ClusterPlatform, NodeHealth
 from .container_db import ContainerDB, ContainerRecord
 from .dispatcher import Dispatcher
 from .migration import MigrationError, MigrationManager, MigrationReport
@@ -30,6 +30,7 @@ from .warehouse import AppWarehouse, CacheEntry
 __all__ = [
     "CloudPlatform",
     "ClusterPlatform",
+    "NodeHealth",
     "ImageRegistry",
     "ImagePuller",
     "ImageLayer",

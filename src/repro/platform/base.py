@@ -10,14 +10,15 @@ cache short-circuits uploads.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Tuple
 
+from ..faults.errors import NodeDown, RuntimeCrashed
 from ..hostos.server import CloudServer
 from ..network.link import Link
 from ..network.transfer import TransferLog, send_messages
 from ..offload.messages import KB, upload_messages, result_message
 from ..offload.request import OffloadRequest, Phase, PhaseTimeline, RequestResult
-from ..runtime.base import RuntimeEnvironment
+from ..runtime.base import RuntimeEnvironment, RuntimeState
 from .access import AccessDecision
 from .container_db import ContainerDB, ContainerRecord
 from .dispatcher import Dispatcher
@@ -49,12 +50,17 @@ class CloudPlatform:
             env,
             self.db,
             self.scheduler,
-            runtime_factory=self.make_runtime,
+            runtime_factory=self._make_runtime_guarded,
             policy=dispatch_policy,
             warehouse=self.warehouse_or_none(),
         )
         self.transfer_log = TransferLog()
         self.results: List[RequestResult] = []
+        #: True inside an injected outage window: new requests are
+        #: refused and no runtime can boot until the node is restored
+        self.offline = False
+        #: in-flight request processes per runtime: cid -> [(request, proc)]
+        self._inflight: Dict[str, List[Tuple[OffloadRequest, "Process"]]] = {}
         #: Monitor & Scheduler process-level priorities: app_id -> CPU
         #: weight under contention (default 1.0).  Lets interactive
         #: offloaded tasks outrank batch work on a saturated server.
@@ -69,6 +75,24 @@ class CloudPlatform:
     def make_runtime(self, cid: str, request: OffloadRequest) -> RuntimeEnvironment:
         """Create (not boot) the runtime environment for a cold request."""
         raise NotImplementedError
+
+    def _make_runtime_guarded(self, cid: str, request: OffloadRequest) -> RuntimeEnvironment:
+        """Dispatcher entry point: refuse boots while the node is down.
+
+        Raising here (synchronously, inside ``Dispatcher.acquire``)
+        keeps crash-recovery re-acquisition from boot-looping against a
+        dead server — the failure propagates to the client instead.
+        """
+        if self.offline:
+            raise NodeDown(self.name, "refusing boot while offline")
+        return self.make_runtime(cid, request)
+
+    def on_request_failed(self, request: OffloadRequest, exc: BaseException) -> None:
+        """An in-flight request died (fault injection, interruption).
+
+        Platform-specific cleanup hook; Rattrap uses it to release the
+        code-upload reservation so waiters are not stranded.
+        """
 
     def warehouse_or_none(self):
         """Platforms with a code cache return their App Warehouse."""
@@ -144,6 +168,8 @@ class CloudPlatform:
 
     def _serve(self, request: OffloadRequest, link: Link) -> Generator:
         env = self.env
+        if self.offline:
+            raise NodeDown(self.name, "node offline")
         timeline = PhaseTimeline()
         started = env.now
 
@@ -188,6 +214,8 @@ class CloudPlatform:
             timeline.add(Phase.CONNECTION, env.now - t0)
 
         self.scheduler.request_started(record.cid)
+        entry = (request, env.active_process)
+        self._inflight.setdefault(record.cid, []).append(entry)
         try:
             # -- phase 3a: upload ---------------------------------------------------
             include_code = self.code_needed(request, runtime)
@@ -217,8 +245,19 @@ class CloudPlatform:
             timeline.add(Phase.TRANSFER, env.now - t0)
 
             self.after_execution(request, runtime)
+        except BaseException as exc:
+            self.on_request_failed(request, exc)
+            raise
         finally:
             self.scheduler.request_finished(record.cid)
+            entries = self._inflight.get(record.cid)
+            if entries is not None:
+                try:
+                    entries.remove(entry)
+                except ValueError:  # pragma: no cover - double cleanup
+                    pass
+                if not entries:
+                    del self._inflight[record.cid]
 
         runtime.requests_served += 1
         self._last_contact[request.device_id] = env.now
@@ -288,6 +327,83 @@ class CloudPlatform:
         key = self.dispatcher.allocation_key(request)
         record = self.dispatcher._record_for_key(key)
         return record is not None and record.runtime.has_app(request.app_id)
+
+    # ---------------------------------------------------------- fault handling
+    def crash_runtime(self, cid: str, reason: str = "fault") -> bool:
+        """Kill one runtime abruptly (fault injection / hard failure).
+
+        Releases the runtime's memory and disk, marks it CRASHED, and
+        interrupts every process that depends on it: the boot process
+        (so the dispatcher's waiters re-acquire) or the in-flight
+        requests executing inside it (so clients can retry).  Returns
+        True when a live runtime was actually killed.
+        """
+        if not self.db.exists(cid):
+            return False
+        record = self.db.get(cid)
+        state = record.runtime.state
+        if state is RuntimeState.BOOTING:
+            boot = self.dispatcher.boot_process_for(record)
+            record.runtime.crash(reason)
+            if boot is not None and boot.is_alive and boot.target is not None:
+                boot.interrupt(RuntimeCrashed(cid, reason))
+            return True
+        if state is RuntimeState.READY:
+            record.runtime.crash(reason)
+            exc = RuntimeCrashed(cid, reason)
+            for _request, proc in list(self._inflight.get(cid, ())):
+                if proc.is_alive and proc.target is not None:
+                    proc.interrupt(exc)
+            return True
+        return False
+
+    def interrupt_inflight(
+        self,
+        predicate: Callable[[OffloadRequest], bool],
+        exc: BaseException,
+    ) -> int:
+        """Interrupt every in-flight request matching ``predicate``.
+
+        Used for link blackouts: the affected device's requests die
+        mid-transfer with the given exception as interrupt cause.
+        Returns the number of processes interrupted.
+        """
+        count = 0
+        for entries in list(self._inflight.values()):
+            for request, proc in list(entries):
+                if proc.is_alive and proc.target is not None and predicate(request):
+                    proc.interrupt(exc)
+                    count += 1
+        return count
+
+    def fail_node(self, reason: str = "outage") -> None:
+        """Take the whole server down: every live runtime dies with it.
+
+        New submissions and boots are refused until
+        :meth:`restore_node`; in-flight requests are severed with
+        :class:`NodeDown` so clients fail over elsewhere.
+        """
+        if self.offline:
+            return
+        self.offline = True
+        for record in self.db.all_records():
+            state = record.runtime.state
+            if state is RuntimeState.BOOTING:
+                boot = self.dispatcher.boot_process_for(record)
+                record.runtime.crash(reason)
+                if boot is not None and boot.is_alive and boot.target is not None:
+                    boot.interrupt(RuntimeCrashed(record.cid, reason))
+            elif state is RuntimeState.READY:
+                record.runtime.crash(reason)
+        exc = NodeDown(self.name, reason)
+        for entries in list(self._inflight.values()):
+            for _request, proc in list(entries):
+                if proc.is_alive and proc.target is not None:
+                    proc.interrupt(exc)
+
+    def restore_node(self) -> None:
+        """End an outage window; the node accepts work again (cold)."""
+        self.offline = False
 
     # -------------------------------------------------------- idle reclamation
     def reap_idle_runtimes(self, idle_timeout_s: float) -> List[str]:

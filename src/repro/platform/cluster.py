@@ -12,6 +12,11 @@ Routing policies:
 - ``least-loaded``  — pick the server with the fewest active requests
   at submission (better load spread, worse cache locality: the code
   cache must warm on every server the app touches).
+
+Both policies are failure-aware: an offline node (injected outage) or
+one whose circuit breaker is open is skipped, and sticky devices are
+rehashed onto the next surviving node — their warm state re-warms
+there through the App Warehouse on first contact.
 """
 
 from __future__ import annotations
@@ -28,9 +33,48 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment
     from ..sim.process import Process
 
-__all__ = ["ClusterPlatform"]
+__all__ = ["ClusterPlatform", "NodeHealth"]
 
 PlatformFactory = Callable[["Environment"], CloudPlatform]
+
+
+class NodeHealth:
+    """Per-node circuit breaker over consecutive request failures.
+
+    After ``threshold`` consecutive failures the breaker opens for
+    ``reset_timeout_s``: routing treats the node as unavailable without
+    waiting for more requests to die against it.  One success closes
+    it again.
+    """
+
+    def __init__(self, threshold: int = 3, reset_timeout_s: float = 30.0):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        self.threshold = threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        self.trips = 0
+        self.failures = 0
+
+    def record_success(self) -> None:
+        """A request served cleanly: close the failure streak."""
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """A request died on this node; trip the breaker at threshold."""
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self.open_until = now + self.reset_timeout_s
+            self.trips += 1
+            self.consecutive_failures = 0
+
+    def available(self, now: float) -> bool:
+        """Is the breaker closed (node routable) at ``now``?"""
+        return now >= self.open_until
 
 
 class ClusterPlatform:
@@ -42,6 +86,8 @@ class ClusterPlatform:
         servers: int = 3,
         platform_factory: Optional[PlatformFactory] = None,
         policy: str = "device-sticky",
+        breaker_threshold: int = 3,
+        breaker_reset_s: float = 30.0,
     ):
         if servers < 1:
             raise ValueError("servers must be >= 1")
@@ -53,34 +99,96 @@ class ClusterPlatform:
         self.nodes: List[CloudPlatform] = [factory(env) for _ in range(servers)]
         self.routed: Dict[str, int] = {}  # device -> node index (sticky)
         self.results: List[RequestResult] = []
+        self.health: List[NodeHealth] = [
+            NodeHealth(breaker_threshold, breaker_reset_s) for _ in self.nodes
+        ]
+        #: successful requests collected per node (see node_loads)
+        self._served_by_node: List[int] = [0] * servers
+        #: sticky devices moved off their home node by a failure
+        self.failovers = 0
 
     # -- routing -----------------------------------------------------------------
     def _sticky_index(self, device_id: str) -> int:
         digest = hashlib.sha1(device_id.encode()).digest()
         return int.from_bytes(digest[:4], "little") % len(self.nodes)
 
-    def route(self, request: OffloadRequest) -> CloudPlatform:
-        """Pick the serving node for a request."""
+    def _available(self, idx: int) -> bool:
+        """Can this node take traffic right now (health + breaker)?"""
+        return not self.nodes[idx].offline and self.health[idx].available(self.env.now)
+
+    def _route_index(self, request: OffloadRequest) -> int:
         if self.policy == "device-sticky":
-            idx = self.routed.setdefault(
+            home = self.routed.get(
                 request.device_id, self._sticky_index(request.device_id)
             )
-            return self.nodes[idx]
-        # least-loaded: fewest in-flight requests, ties to lowest index.
-        return min(self.nodes, key=lambda n: n.scheduler.active_requests)
+            n = len(self.nodes)
+            for k in range(n):
+                idx = (home + k) % n
+                if self._available(idx):
+                    if self.routed.get(request.device_id) not in (None, idx):
+                        self.failovers += 1
+                    self.routed[request.device_id] = idx
+                    return idx
+            # Whole fleet dark: keep the sticky assignment; the request
+            # fails fast and the client's retry policy takes over.
+            self.routed[request.device_id] = home
+            return home
+        # least-loaded: fewest in-flight requests among available nodes,
+        # ties to the lowest index (min keeps the first of equals).
+        candidates = [i for i in range(len(self.nodes)) if self._available(i)]
+        if not candidates:
+            candidates = list(range(len(self.nodes)))
+        return min(candidates, key=lambda i: (self.nodes[i].scheduler.active_requests, i))
+
+    def route(self, request: OffloadRequest) -> CloudPlatform:
+        """Pick the serving node for a request."""
+        return self.nodes[self._route_index(request)]
 
     # -- platform API -----------------------------------------------------------------
     def submit(self, request: OffloadRequest, link: Link) -> "Process":
         """Route and serve one request (same contract as CloudPlatform)."""
-        node = self.route(request)
-        proc = node.submit(request, link)
+        idx = self._route_index(request)
+        proc = self.nodes[idx].submit(request, link)
 
         def collect(env):
-            result = yield proc
+            try:
+                result = yield proc
+            except BaseException as exc:
+                if proc.is_alive:
+                    # We were interrupted while the node still works on
+                    # the request; orphan it quietly — its eventual
+                    # failure must not crash the run.
+                    proc.defused = True
+                elif proc.exception is exc:
+                    # The node actually failed the request: feed the
+                    # circuit breaker before surfacing the failure.
+                    self.health[idx].record_failure(env.now)
+                raise
+            self.health[idx].record_success()
+            self._served_by_node[idx] += 1
             self.results.append(result)
             return result
 
         return self.env.process(collect(self.env))
+
+    # -- health -----------------------------------------------------------------
+    def start_health_monitor(self, check_interval_s: float = 1.0) -> "Process":
+        """Background probe: hold the breaker open while a node is
+        offline, so routing avoids it without sacrificing a request."""
+        if check_interval_s <= 0:
+            raise ValueError("check_interval_s must be positive")
+
+        def monitor(env):
+            while True:
+                yield env.timeout(check_interval_s)
+                for idx, node in enumerate(self.nodes):
+                    if node.offline:
+                        health = self.health[idx]
+                        health.open_until = max(
+                            health.open_until, env.now + check_interval_s
+                        )
+
+        return self.env.process(monitor(self.env))
 
     def completed(self) -> List[RequestResult]:
         """Served results across every node."""
@@ -103,5 +211,8 @@ class ClusterPlatform:
         ]
 
     def node_loads(self) -> List[int]:
-        """Requests served per node (distribution check)."""
-        return [len(node.results) for node in self.nodes]
+        """Requests served per node *through this cluster* (distribution
+        check).  Counted by the collect wrapper, so it matches
+        ``completed()`` exactly even when requests fail or nodes also
+        serve direct traffic."""
+        return list(self._served_by_node)

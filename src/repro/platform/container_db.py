@@ -65,6 +65,14 @@ class ContainerDB:
         self._records[cid] = rec
         return rec
 
+    def unregister(self, cid: str) -> None:
+        """Drop a dead runtime's row (failed boot, crash eviction).
+
+        Unknown CIDs are ignored: crash handling may race normal
+        teardown and eviction must stay idempotent.
+        """
+        self._records.pop(cid, None)
+
     def get(self, cid: str) -> ContainerRecord:
         """The record for a CID (KeyError if unknown)."""
         try:

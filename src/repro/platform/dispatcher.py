@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
 
 from ..offload.request import OffloadRequest
-from ..runtime.base import RuntimeEnvironment
+from ..runtime.base import RuntimeEnvironment, RuntimeState
 from .container_db import ContainerDB, ContainerRecord
 from .scheduler import MonitorScheduler
 from .warehouse import AppWarehouse
@@ -95,7 +95,21 @@ class Dispatcher:
         boot_event = self._boots.get(key)
         if boot_event is not None:
             # Another request already triggered this runtime's boot.
-            yield boot_event
+            booting = self._boot_records.get(key)
+            try:
+                yield boot_event
+            except BaseException as exc:
+                if (
+                    boot_event.triggered
+                    and boot_event.exception is exc
+                    and booting is not None
+                    and booting.runtime.state is RuntimeState.CRASHED
+                ):
+                    # The shared boot died under an injected fault; the
+                    # dead record was already evicted — start over (a
+                    # fresh boot, or a runtime that survived elsewhere).
+                    return (yield from self.acquire(request))
+                raise
             record = self._record_for_key(key)
             if record is None:
                 record = self._boot_records[key]
@@ -106,8 +120,6 @@ class Dispatcher:
         if key.startswith("app:"):
             candidates = self.db.with_app(key[4:])
             return self.scheduler.pick_least_loaded(candidates)
-        from ..runtime.base import RuntimeState
-
         owned = [
             r
             for r in self.db.by_device(key)
@@ -132,8 +144,45 @@ class Dispatcher:
         self._boot_records[key] = record
         boot = self.env.process(runtime.boot())
         self._boots[key] = boot
+        # Bookkeeping settles in an event callback, not after the yield:
+        # callbacks run before any waiter resumes, so every waiter — and
+        # an interrupted initiator's successors — observes a consistent
+        # DB, and a failed boot's dead record never lingers.
+        boot.add_callback(lambda ev: self._boot_settled(key, record, boot))
         try:
             yield boot
-        finally:
-            self._boots.pop(key, None)
+        except BaseException as exc:
+            if (
+                boot.triggered
+                and boot.exception is exc
+                and record.runtime.state is RuntimeState.CRASHED
+            ):
+                # Our own boot was killed by a fault — recover by
+                # re-entering acquisition from the top.
+                return (yield from self.acquire(request))
+            raise
         return record
+
+    def _boot_settled(self, key: str, record: ContainerRecord, boot: "Event") -> None:
+        """Boot-completion bookkeeping (runs before waiters resume)."""
+        if self._boots.get(key) is boot:
+            del self._boots[key]
+        if boot.exception is None:
+            return
+        # Failed boot: evict the dead record so nothing dispatches to it
+        # and the DB's memory/disk accounting stays honest.
+        if self._boot_records.get(key) is record:
+            del self._boot_records[key]
+        self.db.unregister(record.cid)
+        if record.runtime.state is RuntimeState.CRASHED:
+            # An injected-fault death is recoverable; don't let an
+            # unwatched boot failure crash the kernel while the waiters
+            # that will handle it are still queued to resume.
+            boot.defused = True
+
+    def boot_process_for(self, record: ContainerRecord) -> Optional["Event"]:
+        """The in-flight boot process of a BOOTING record, if tracked."""
+        for key, rec in self._boot_records.items():
+            if rec is record:
+                return self._boots.get(key)
+        return None

@@ -67,6 +67,10 @@ class RattrapPlatform(CloudPlatform):
         #: apps whose code upload is in flight: later requests treat the
         #: cache as hit and wait for the upload instead of re-sending.
         self._code_pending: dict = {}
+        #: app -> request_id of the request carrying its code; if that
+        #: request dies mid-upload, the reservation must be released so
+        #: waiters are not stranded (see on_request_failed)
+        self._code_owner: dict = {}
 
     # ------------------------------------------------------------------ hooks
     def warehouse_or_none(self):
@@ -90,6 +94,7 @@ class RattrapPlatform(CloudPlatform):
             return False
         # Reserve: this request carries the code, once and for all.
         self._code_pending[app] = self.env.event()
+        self._code_owner[app] = request.request_id
         return True
 
     def on_code_received(
@@ -100,8 +105,34 @@ class RattrapPlatform(CloudPlatform):
             self.warehouse.store(request.app_id, code_bytes, now=self.env.now)
         yield self.env.process(self.server.disk.write(code_bytes))
         pending = self._code_pending.pop(request.app_id, None)
+        self._code_owner.pop(request.app_id, None)
         if pending is not None:
             pending.succeed()
+
+    def on_request_failed(self, request: OffloadRequest, exc: BaseException) -> None:
+        """Release a dead request's code-upload reservation.
+
+        If the request carrying an app's code dies mid-flight, every
+        request parked on the pending event would otherwise wait
+        forever.  Failing the event with :class:`CodeUploadAborted`
+        (retryable) sends them back to the client so a survivor
+        re-uploads the code.  The request's staged offload data is
+        burned too — a retry must be able to re-stage its payload.
+        """
+        if self.optimized and self.shared_layer is not None:
+            key = f"req-{request.request_id}"
+            if key in self.shared_layer.offload_io.staged_requests():
+                self.shared_layer.offload_io.burn(key)
+        app = request.app_id
+        if self._code_owner.get(app) != request.request_id:
+            return
+        del self._code_owner[app]
+        pending = self._code_pending.pop(app, None)
+        if pending is not None and not pending.triggered:
+            from ..faults.errors import CodeUploadAborted
+
+            pending.defused = True  # waiters may already be dead too
+            pending.fail(CodeUploadAborted(app))
 
     def fetch_code(
         self, request: OffloadRequest, runtime: RuntimeEnvironment

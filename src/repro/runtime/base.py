@@ -32,6 +32,9 @@ class RuntimeState(str, enum.Enum):
     BOOTING = "booting"
     READY = "ready"
     STOPPED = "stopped"
+    #: died abruptly (injected fault, node outage) — resources were
+    #: reclaimed, but the runtime never went through an orderly stop
+    CRASHED = "crashed"
 
 
 class RuntimeEnvironment:
@@ -72,24 +75,17 @@ class RuntimeEnvironment:
         self.booted_at: Optional[float] = None
         self.ready_at: Optional[float] = None
         self.stopped_at: Optional[float] = None
+        self.crash_reason: Optional[str] = None
+        #: True while memory/disk are reserved (guards double release
+        #: when a crash races the boot/stop paths)
+        self._resources_held = False
         #: app packages whose code is loaded into this runtime (warm)
         self.loaded_apps: Set[str] = set()
         self.requests_served = 0
 
     # -- lifecycle --------------------------------------------------------------
-    def boot(self) -> Generator:
-        """Process generator: boot this runtime on its server.
-
-        Reserves memory and disk up front (the paper's footprints are
-        start-time reservations), then runs the boot sequence under
-        whatever CPU/disk contention currently exists.
-        """
-        if self.state is not RuntimeState.CREATED:
-            raise RuntimeError_(
-                f"{self.instance_id}: boot from state {self.state.value}"
-            )
-        self.state = RuntimeState.BOOTING
-        self.booted_at = self.env.now
+    def _acquire_resources(self) -> None:
+        """Reserve memory then disk; roll back and STOP on failure."""
         try:
             self.server.memory.reserve(self.instance_id, self.memory_mb)
         except Exception:
@@ -101,8 +97,44 @@ class RuntimeEnvironment:
             self.server.memory.release(self.instance_id)
             self.state = RuntimeState.STOPPED
             raise
+        self._resources_held = True
+
+    def _release_resources(self) -> None:
+        """Return memory/disk and run the subclass teardown hook (once)."""
+        if not self._resources_held:
+            return
+        self._resources_held = False
+        self.server.memory.release(self.instance_id)
+        self.server.disk.deallocate(self.disk_bytes)
+        self._post_stop()
+
+    def boot(self) -> Generator:
+        """Process generator: boot this runtime on its server.
+
+        Reserves memory and disk up front (the paper's footprints are
+        start-time reservations), then runs the boot sequence under
+        whatever CPU/disk contention currently exists.  A boot process
+        that is interrupted (fault injection, node outage) releases its
+        resources and leaves the runtime CRASHED.
+        """
+        if self.state is not RuntimeState.CREATED:
+            raise RuntimeError_(
+                f"{self.instance_id}: boot from state {self.state.value}"
+            )
+        self.state = RuntimeState.BOOTING
+        self.booted_at = self.env.now
+        self._acquire_resources()
         self._pre_boot()
-        yield self.env.process(self.boot_sequence.run(self.server))
+        try:
+            yield self.env.process(self.boot_sequence.run(self.server))
+        except BaseException:
+            if self.state is RuntimeState.BOOTING:
+                self._mark_crashed("boot aborted")
+            raise
+        if self.state is not RuntimeState.BOOTING:
+            # Crashed out from under us in the same tick the sequence
+            # finished; resources are already released.
+            raise RuntimeError_(f"{self.instance_id}: crashed during boot")
         self.state = RuntimeState.READY
         self.ready_at = self.env.now
         return self
@@ -120,17 +152,7 @@ class RuntimeEnvironment:
             )
         self.state = RuntimeState.BOOTING
         self.booted_at = self.env.now
-        try:
-            self.server.memory.reserve(self.instance_id, self.memory_mb)
-        except Exception:
-            self.state = RuntimeState.STOPPED
-            raise
-        try:
-            self.server.disk.allocate(self.disk_bytes)
-        except Exception:
-            self.server.memory.release(self.instance_id)
-            self.state = RuntimeState.STOPPED
-            raise
+        self._acquire_resources()
         self._pre_boot()
         self.state = RuntimeState.READY
         self.ready_at = self.env.now
@@ -138,15 +160,33 @@ class RuntimeEnvironment:
 
     def stop(self) -> None:
         """Tear the runtime down, releasing memory and disk."""
-        if self.state is RuntimeState.STOPPED:
-            raise RuntimeError_(f"{self.instance_id}: already stopped")
+        if self.state in (RuntimeState.STOPPED, RuntimeState.CRASHED):
+            raise RuntimeError_(f"{self.instance_id}: already {self.state.value}")
         if self.state is RuntimeState.BOOTING:
             raise RuntimeError_(f"{self.instance_id}: cannot stop mid-boot")
         if self.state is RuntimeState.READY:
-            self.server.memory.release(self.instance_id)
-            self.server.disk.deallocate(self.disk_bytes)
-            self._post_stop()
+            self._release_resources()
         self.state = RuntimeState.STOPPED
+        self.stopped_at = self.env.now
+
+    def crash(self, reason: str = "fault") -> bool:
+        """Abrupt, unclean death: reclaim resources, mark CRASHED.
+
+        Valid from BOOTING or READY (returns True); a no-op from any
+        other state (returns False).  Unlike :meth:`stop` this never
+        raises — crash paths must be safe to call from fault handlers.
+        For a BOOTING runtime the caller is responsible for also
+        interrupting the boot process so waiters observe the failure.
+        """
+        if self.state not in (RuntimeState.BOOTING, RuntimeState.READY):
+            return False
+        self._mark_crashed(reason)
+        return True
+
+    def _mark_crashed(self, reason: str) -> None:
+        self._release_resources()
+        self.state = RuntimeState.CRASHED
+        self.crash_reason = reason
         self.stopped_at = self.env.now
 
     def _pre_boot(self) -> None:

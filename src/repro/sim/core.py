@@ -51,6 +51,9 @@ class Environment:
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = 0  # tie-breaker keeps FIFO order for simultaneous events
         self._active_process: Optional[Process] = None
+        #: the attached FaultInjector, if any (set by repro.faults);
+        #: clients probe it for link blackouts via duck typing
+        self.faults: Optional[Any] = None
 
     # -- clock ---------------------------------------------------------------
     @property

@@ -1,0 +1,185 @@
+"""Cluster failure-awareness tests: the circuit breaker, failover
+routing, the hardened collect wrapper, and seeded chaos determinism."""
+
+import pytest
+
+from repro.experiments.chaos import SCENARIOS, _chaos_cell
+from repro.network import make_link
+from repro.offload import OffloadRequest, run_inflow_experiment
+from repro.platform import ClusterPlatform, NodeHealth
+from repro.sim import Environment, Interrupt
+from repro.workloads import CHESS_GAME, LINPACK, generate_inflow
+
+
+# ------------------------------------------------------------ circuit breaker
+def test_node_health_validation():
+    with pytest.raises(ValueError):
+        NodeHealth(threshold=0)
+    with pytest.raises(ValueError):
+        NodeHealth(reset_timeout_s=0.0)
+
+
+def test_breaker_trips_at_threshold_and_resets():
+    health = NodeHealth(threshold=2, reset_timeout_s=10.0)
+    assert health.available(0.0)
+    health.record_failure(1.0)
+    assert health.available(1.0)  # one failure is not a trip
+    health.record_failure(2.0)
+    assert not health.available(5.0)
+    assert health.trips == 1
+    assert health.failures == 2
+    # The breaker half-opens after the reset window.
+    assert health.available(12.0)
+    # A success in between closes the failure streak.
+    health.record_failure(13.0)
+    health.record_success()
+    health.record_failure(14.0)
+    assert health.available(14.0)
+
+
+def test_breaker_open_diverts_sticky_traffic():
+    env = Environment()
+    cluster = ClusterPlatform(
+        env, servers=2, breaker_threshold=1, breaker_reset_s=100.0
+    )
+    request = OffloadRequest(0, "device-0", "chess", CHESS_GAME)
+    home = cluster._route_index(request)
+    cluster.health[home].record_failure(env.now)
+    assert cluster._route_index(request) != home
+    assert cluster.failovers == 1
+
+
+# ------------------------------------------------------------------ failover
+def test_sticky_failover_rehashes_and_sticks():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=3)
+    request = OffloadRequest(0, "device-0", "chess", CHESS_GAME)
+    home = cluster._route_index(request)
+    cluster.nodes[home].fail_node()
+    moved = cluster._route_index(request)
+    assert moved != home
+    assert cluster.failovers == 1
+    # The device stays on its new node even after the home node heals —
+    # its warm state now lives there.
+    cluster.nodes[home].restore_node()
+    assert cluster._route_index(request) == moved
+    assert cluster.failovers == 1
+
+
+def test_whole_fleet_dark_falls_back_to_home():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2)
+    request = OffloadRequest(0, "device-0", "chess", CHESS_GAME)
+    home = cluster._route_index(request)
+    for node in cluster.nodes:
+        node.fail_node()
+    # Nowhere to go: keep the sticky home so the request fails fast
+    # and the client's retry policy takes over.
+    assert cluster._route_index(request) == home
+
+
+def test_least_loaded_avoids_offline_node():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=3, policy="least-loaded")
+    cluster.nodes[0].fail_node()
+    for i in range(6):
+        request = OffloadRequest(i, f"device-{i}", "chess", CHESS_GAME)
+        assert cluster._route_index(request) != 0
+
+
+def test_node_loads_matches_collected_results():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=3)
+    plans = generate_inflow(LINPACK, devices=6, requests_per_device=2, seed=1)
+    results = run_inflow_experiment(env, cluster, plans, make_link("lan-wifi"))
+    assert sum(cluster.node_loads()) == len(results) == len(cluster.completed())
+
+
+# ------------------------------------------------------- hardened collect
+def test_interrupted_collect_orphans_node_work_quietly():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2)
+    request = OffloadRequest(0, "device-0", "chess", CHESS_GAME)
+    idx = cluster._route_index(request)
+    wrapper = cluster.submit(request, make_link("lan-wifi"))
+    wrapper.defused = True
+
+    def killer(env):
+        yield env.timeout(0.5)
+        wrapper.interrupt("client gone")
+
+    env.process(killer(env))
+    env.run()
+    assert isinstance(wrapper.exception, Interrupt)
+    # The abandonment is not a node failure: the breaker saw nothing,
+    # and the cluster collected no result ...
+    assert all(h.failures == 0 for h in cluster.health)
+    assert cluster.node_loads() == [0, 0]
+    assert cluster.results == []
+    # ... but the node finished the orphaned request on its own.
+    assert len(cluster.nodes[idx].completed()) == 1
+
+
+def test_node_death_mid_request_feeds_the_breaker():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2)
+    request = OffloadRequest(0, "device-0", "chess", CHESS_GAME)
+    idx = cluster._route_index(request)
+    wrapper = cluster.submit(request, make_link("lan-wifi"))
+    wrapper.defused = True
+
+    def killer(env):
+        yield env.timeout(3.0)  # boot done (1.75 s), request executing
+        cluster.nodes[idx].fail_node()
+
+    env.process(killer(env))
+    env.run()
+    assert isinstance(wrapper.exception, Interrupt)
+    assert cluster.health[idx].failures == 1
+    assert cluster.node_loads() == [0, 0]
+
+
+def test_health_monitor_holds_breaker_open_while_offline():
+    env = Environment()
+    cluster = ClusterPlatform(env, servers=2)
+    cluster.start_health_monitor(check_interval_s=1.0)
+    with pytest.raises(ValueError):
+        cluster.start_health_monitor(check_interval_s=0.0)
+    cluster.nodes[0].fail_node()
+    env.run(until=env.timeout(3.0))
+    assert not cluster._available(0)
+    cluster.nodes[0].restore_node()
+    # One more probe interval and the hold expires on its own.
+    env.run(until=env.timeout(3.0))
+    assert cluster._available(0)
+
+
+# ------------------------------------------------------------------ chaos
+def test_chaos_cells_are_deterministic():
+    # Byte-determinism of the whole recovery pipeline under a fixed
+    # seed: inflow, victim picks, backoff jitter, failover routing.
+    for scenario in ("runtime-crashes", "node-outage"):
+        assert _chaos_cell(scenario, seed=2) == _chaos_cell(scenario, seed=2)
+
+
+def test_chaos_node_outage_meets_availability_target():
+    metrics = _chaos_cell("node-outage", seed=1)
+    assert metrics["availability"] >= 0.99
+    assert metrics["failovers"] >= 1
+    assert metrics["faults_injected"] == 1
+
+
+def test_chaos_baseline_is_fault_free():
+    metrics = _chaos_cell("baseline", seed=1)
+    assert metrics["availability"] == 1.0
+    assert metrics["mean_attempts"] == 1.0
+    assert metrics["faults_injected"] == 0
+    assert metrics["failovers"] == 0
+
+
+def test_chaos_scenarios_cover_every_fault_kind():
+    from repro.faults import FAULT_KINDS
+
+    assert len(SCENARIOS) == len(FAULT_KINDS) + 1  # every kind + control
+    for kind in FAULT_KINDS:
+        assert any(scenario.startswith(kind) for scenario in SCENARIOS)

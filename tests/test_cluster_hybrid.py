@@ -199,3 +199,76 @@ def test_deadline_validation():
     with pytest.raises(ValueError):
         env.run(until=env.process(
             replay_with_deadline(env, platform, plans, devices, 0.0)))
+
+
+class _PacedPlatform:
+    """Stub platform serving every request in exactly ``service_s``
+    simulated seconds, split into two hops so the completion event is
+    scheduled *after* the client's deadline timer — the adversarial
+    ordering for the deadline/completion same-tick race."""
+
+    def __init__(self, env, service_s, split_s=1.0):
+        self.env = env
+        self.service_s = service_s
+        self.split_s = split_s
+
+    def submit(self, request, link):
+        """Return the serving process (same contract as CloudPlatform)."""
+        from repro.offload.request import PhaseTimeline, RequestResult
+
+        def serve(env):
+            started = env.now
+            yield env.timeout(self.split_s)
+            yield env.timeout(self.service_s - self.split_s)
+            return RequestResult(
+                request=request,
+                timeline=PhaseTimeline(),
+                started_at=started,
+                finished_at=env.now,
+                executed_on="stub-0",
+            )
+
+        return self.env.process(serve(self.env))
+
+
+def test_deadline_same_tick_completion_is_kept():
+    # The response lands in the exact tick the deadline fires, with the
+    # expiry timer processing first: the condition wakes on the expiry,
+    # but the completed response must not be thrown away.
+    from repro.offload.client import replay_with_deadline
+
+    env = Environment()
+    platform = _PacedPlatform(env, service_s=5.0)
+    plans = generate_inflow(CHESS_GAME, devices=1, requests_per_device=1, seed=0)
+    devices = {"device-0": MobileDevice("device-0", make_link("lan-wifi"))}
+    proc = env.process(replay_with_deadline(env, platform, plans, devices, 5.0))
+    [result] = env.run(until=proc)
+    assert not result.deadline_aborted
+    assert not result.executed_locally
+    assert result.executed_on == "stub-0"
+    assert result.finished_at == pytest.approx(5.0)
+    assert devices["device-0"].offloaded_requests == 1
+
+
+def test_deadline_abort_reports_honest_start_time():
+    # Aborted requests must carry started_at = submission time, so the
+    # deadline + local-execution penalty shows up in response_time.
+    from repro.offload.client import replay_with_deadline
+
+    env = Environment()
+    platform = _PacedPlatform(env, service_s=50.0)
+    plans = generate_inflow(CHESS_GAME, devices=1, requests_per_device=2,
+                            think_time_s=2.0, seed=0)
+    devices = {"device-0": MobileDevice("device-0", make_link("lan-wifi"))}
+    proc = env.process(replay_with_deadline(env, platform, plans, devices, 5.0))
+    results = env.run(until=proc)
+    assert all(r.deadline_aborted and r.executed_locally for r in results)
+    for r in results:
+        assert r.response_time == pytest.approx(5.0 + CHESS_GAME.local_time_s)
+    # The second request was submitted one think-gap after the first
+    # finished — its honest start time is that submission instant.
+    first, second = results
+    assert first.started_at == pytest.approx(plans[0].gap_s)
+    assert second.started_at == pytest.approx(
+        first.finished_at + plans[1].gap_s
+    )
