@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments chaos
+.PHONY: test bench bench-compare experiments chaos scale
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,11 +11,20 @@ test:
 chaos:
 	$(PYTHON) -m repro.experiments.runner chaos
 
+## Run the opt-in 1k-10k device scale ramp (see docs/PERFORMANCE.md).
+scale:
+	$(PYTHON) -m repro.experiments.runner scale
+
 ## Run every experiment and write BENCH_experiments.json with
 ## per-cell and per-experiment wall-clock (JOBS=N to parallelize).
 JOBS ?= 0
 bench:
 	$(PYTHON) -m repro.experiments.runner --jobs $(JOBS) --bench
+
+## Re-measure the default suite and diff against the committed
+## BENCH_experiments.json; exits 1 on a >25 % per-experiment regression.
+bench-compare:
+	$(PYTHON) benchmarks/compare.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner --jobs $(JOBS)

@@ -6,6 +6,8 @@ contribution on the standard 5-device closed-loop experiment:
 
 - ``no-cache``      — App Warehouse off (uploads revert to per-device);
 - ``exclusive-io``  — Sharing Offloading I/O off (HDD instead of tmpfs);
+- ``no-dedup``      — content-addressed staging off (every request
+  materializes its own tmpfs copy of a shared payload);
 - ``app-affinity``  — dispatcher consolidates instead of per-device;
 - ``priority``      — Monitor & Scheduler CPU weights for the
   interactive app on a saturated 2-core server.
@@ -83,6 +85,36 @@ def _ablate_shared_io() -> Dict[str, float]:
     }
 
 
+def _ablate_dedup() -> Dict[str, float]:
+    """Content-addressed staging: N VirusScan clones share one copy of
+    the signature database in the Sharing Offloading I/O layer."""
+
+    def measure(shared_digest: bool):
+        env = Environment()
+        platform = RattrapPlatform(env)
+        plans = generate_inflow(
+            VIRUS_SCAN, devices=5, requests_per_device=20, seed=1
+        )
+        if shared_digest:
+            for plan in plans:
+                plan.request.payload_digest = "virus-db-v1"
+        run_inflow_experiment(env, platform, plans, make_link("lan-wifi"))
+        return platform.shared_layer.offload_io
+
+    with_dedup = measure(True)
+    without = measure(False)
+    return {
+        "written_dedup_kb": (
+            with_dedup.total_staged - with_dedup.dedup_bytes_saved
+        ) / KB,
+        "written_exclusive_kb": (
+            without.total_staged - without.dedup_bytes_saved
+        ) / KB,
+        "dedup_hits": float(with_dedup.dedup_hits),
+        "dedup_saved_kb": with_dedup.dedup_bytes_saved / KB,
+    }
+
+
 def _ablate_dispatch() -> Dict[str, float]:
     per_device, _ = _standard_run(
         lambda e: RattrapPlatform(e, dispatch_policy="per-device"), CHESS_GAME
@@ -119,6 +151,7 @@ def _ablate_priority() -> Dict[str, float]:
 ABLATIONS = {
     "no-cache": _ablate_cache,
     "exclusive-io": _ablate_shared_io,
+    "no-dedup": _ablate_dedup,
     "app-affinity": _ablate_dispatch,
     "priority": _ablate_priority,
 }
@@ -147,6 +180,7 @@ def report(data: Dict[str, Dict[str, float]]) -> str:
     """Render the ablation summary table."""
     cache = data["no-cache"]
     io = data["exclusive-io"]
+    dedup = data["no-dedup"]
     dispatch = data["app-affinity"]
     priority = data["priority"]
     rows = [
@@ -161,6 +195,13 @@ def report(data: Dict[str, Dict[str, float]]) -> str:
             f"{io['exec_full_s']:.2f} s",
             f"{io['exec_ablated_s']:.2f} s",
             f"{io['exec_ablated_s'] / io['exec_full_s']:.2f}x",
+        ],
+        [
+            f"content-addressed staging (tmpfs writes, "
+            f"{dedup['dedup_hits']:.0f} hits)",
+            f"{dedup['written_dedup_kb']:.0f} KB",
+            f"{dedup['written_exclusive_kb']:.0f} KB",
+            f"{dedup['written_exclusive_kb'] / dedup['written_dedup_kb']:.2f}x",
         ],
         [
             "app-affinity dispatch (runtime memory)",

@@ -35,6 +35,7 @@ from . import (
     fig9_performance,
     fig10_power,
     fig11_trace_cdf,
+    scale,
     scorecard,
     section3e_redundancy,
     sensitivity,
@@ -76,6 +77,7 @@ EXPERIMENTS: Dict[str, Tuple[object, str]] = {
 #: so the default reports stay byte-identical to a fault-free tree
 EXTRA_EXPERIMENTS: Dict[str, Tuple[object, str]] = {
     "chaos": (chaos, "extension: recovery under injected faults"),
+    "scale": (scale, "extension: 1k-10k device scale-out ramp"),
 }
 
 

@@ -1,11 +1,13 @@
 """Network substrate: links, the paper's scenarios, transfer framing."""
 
-from .link import Link, Mbps, MTU_BYTES
+from .link import FlowLink, FluidChannel, Link, Mbps, MTU_BYTES
 from .scenarios import SCENARIOS, make_link, scenario_names
 from .transfer import TransferLog, send_messages
 
 __all__ = [
     "Link",
+    "FlowLink",
+    "FluidChannel",
     "Mbps",
     "MTU_BYTES",
     "SCENARIOS",

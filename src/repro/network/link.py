@@ -13,18 +13,118 @@ offloading response for file-heavy workloads (Fig. 10).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator, List, Optional
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment
+    from ..sim.events import Event
 
-__all__ = ["Link", "Mbps", "MTU_BYTES"]
+__all__ = ["Link", "FlowLink", "FluidChannel", "Mbps", "MTU_BYTES"]
 
 #: One megabit per second, in bytes/second.
 Mbps = 1e6 / 8.0
 MTU_BYTES = 1500
+
+
+class _Flow:
+    """One transfer in flight on a :class:`FluidChannel`."""
+
+    __slots__ = ("remaining", "bps", "done")
+
+    def __init__(self, remaining: float, bps: float, done: "Event"):
+        self.remaining = remaining  # wire bytes left to move
+        self.bps = bps  # rate this flow would get alone
+        self.done = done
+
+
+class FluidChannel:
+    """Fair-share fluid model of a shared medium.
+
+    ``n`` concurrent flows each progress at ``bps / n`` — equal airtime,
+    like a WiFi AP radio.  Rather than chunking transfers, progress is
+    re-apportioned *analytically* whenever the flow set changes, and a
+    single timer is armed for the earliest finisher.  Events therefore
+    fire only at flow arrivals and departures: O(flows), not
+    O(flows × chunks), and no convoy of per-transfer timeouts.
+
+    Stale timers are invalidated by an epoch counter (the same pattern
+    as the GPS scheduler in :mod:`repro.hostos.cpu`).  Finishing flows
+    are identified *at arm time* with the exact float expression used
+    for the minimum, so completion is exact — no epsilon tests against
+    drifted byte counts.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._flows: List[_Flow] = []  # FIFO arrival order
+        self._last = env.now  # when progress was last settled
+        self._epoch = 0  # bumps on every flow-set change
+        #: high-water mark of concurrent flows (contention observability)
+        self.peak_flows = 0
+
+    # -- kernel of the model ------------------------------------------------
+    def _settle(self) -> None:
+        """Apply progress accrued since the last flow-set change."""
+        now = self.env.now
+        dt = now - self._last
+        if dt > 0.0 and self._flows:
+            n = len(self._flows)
+            for f in self._flows:
+                f.remaining -= dt * f.bps / n
+        self._last = now
+
+    def _arm(self) -> None:
+        """Schedule one wake-up at the earliest flow completion."""
+        self._epoch += 1
+        flows = self._flows
+        if not flows:
+            return
+        n = len(flows)
+        dt = min(f.remaining * n / f.bps for f in flows)
+        # Capture finishers with the same expression that produced the
+        # minimum: float-exact, immune to rounding drift.
+        finishers = [f for f in flows if f.remaining * n / f.bps == dt]
+        epoch = self._epoch
+        timer = self.env.timeout(max(dt, 0.0))
+        timer.add_callback(lambda _ev: self._wake(epoch, finishers))
+
+    def _wake(self, epoch: int, finishers: List[_Flow]) -> None:
+        if epoch != self._epoch:
+            return  # flow set changed since this timer was armed
+        self._settle()
+        for f in finishers:
+            f.remaining = 0.0
+            self._flows.remove(f)
+        self._arm()
+        for f in finishers:
+            f.done.succeed()
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def add(self, nbytes: float, bps: float) -> _Flow:
+        """Start a flow; its ``done`` event fires when the bytes drain."""
+        self._settle()
+        flow = _Flow(float(nbytes), float(bps), self.env.event())
+        if nbytes <= 0.0:
+            flow.done.succeed()
+            return flow
+        self._flows.append(flow)
+        if len(self._flows) > self.peak_flows:
+            self.peak_flows = len(self._flows)
+        self._arm()
+        return flow
+
+    def cancel(self, flow: _Flow) -> None:
+        """Remove an in-flight flow (interrupted transfer)."""
+        if flow in self._flows:
+            self._settle()
+            self._flows.remove(flow)
+            self._arm()
 
 
 class Link:
@@ -61,12 +161,16 @@ class Link:
         #: per-message latency rounds (TCP slow-start approximation)
         self.handshake_rounds = handshake_rounds
         self.rng = rng or np.random.default_rng(0)
-        #: when True, concurrent transmissions serialize through the
-        #: medium (one radio channel shared by every device on the AP)
+        #: when True, concurrent transmissions share the medium's
+        #: airtime fairly (one radio channel per AP, fluid model)
         self.shared_medium = shared_medium
-        self._channel = None
+        self._channel: Optional[FluidChannel] = None
+        #: goodput — application bytes delivered
         self.bytes_up = 0
         self.bytes_down = 0
+        #: wire traffic — goodput plus loss-driven retransmissions
+        self.wire_bytes_up = 0
+        self.wire_bytes_down = 0
 
     # -- deterministic cost model ------------------------------------------------
     def one_way_delay(self) -> float:
@@ -108,33 +212,58 @@ class Link:
         return nbytes * total_packets / packets
 
     # -- timed transfer -------------------------------------------------------------
+    def _channel_for(self, env: "Environment") -> FluidChannel:
+        if self._channel is None or self._channel.env is not env:
+            self._channel = FluidChannel(env)
+        return self._channel
+
+    @property
+    def active_flows(self) -> int:
+        """Transfers currently sharing the medium (0 for dedicated links)."""
+        return self._channel.active_flows if self._channel is not None else 0
+
+    @property
+    def peak_flows(self) -> int:
+        """Most transfers ever sharing the medium at once."""
+        return self._channel.peak_flows if self._channel is not None else 0
+
     def transmit(
         self, env: "Environment", nbytes: float, direction: str
     ) -> Generator:
         """Process generator: move ``nbytes`` across the link.
 
         Time = jittered one-way latency + wire time (with loss-driven
-        retransmissions).  Byte counters accumulate for energy models.
+        retransmissions).  On a shared medium the wire time stretches
+        with contention: concurrent flows split the bandwidth fairly
+        (fluid model, see :class:`FluidChannel`).  ``bytes_up/down``
+        count goodput; ``wire_bytes_up/down`` include retransmissions.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         bw = self._bw(direction)
         wire_bytes = self._effective_bytes(nbytes)
-        duration = self.one_way_delay() * self.handshake_rounds + wire_bytes / bw
+        latency = self.one_way_delay() * self.handshake_rounds
         if self.shared_medium:
-            if self._channel is None or self._channel.env is not env:
-                from ..sim.resources import Resource
-
-                self._channel = Resource(env, capacity=1)
-            with self._channel.request() as req:
-                yield req
-                yield env.timeout(duration)
+            start = env.now
+            yield env.timeout(latency)
+            channel = self._channel_for(env)
+            flow = channel.add(wire_bytes, bw)
+            try:
+                yield flow.done
+            except BaseException:
+                # Interrupted mid-flight: free our share of the medium.
+                channel.cancel(flow)
+                raise
+            duration = env.now - start
         else:
+            duration = latency + wire_bytes / bw
             yield env.timeout(duration)
         if direction == "up":
             self.bytes_up += int(nbytes)
+            self.wire_bytes_up += int(wire_bytes)
         else:
             self.bytes_down += int(nbytes)
+            self.wire_bytes_down += int(wire_bytes)
         return duration
 
     def connect(self, env: "Environment") -> Generator:
@@ -147,3 +276,16 @@ class Link:
             f"<Link {self.name} lat={self.latency_s * 1e3:.1f}ms "
             f"up={self.up_bw_bps / Mbps:.2f}Mbps down={self.down_bw_bps / Mbps:.2f}Mbps>"
         )
+
+
+class FlowLink(Link):
+    """A :class:`Link` whose medium is always shared.
+
+    Convenience for access-point-style topologies — many devices hang
+    off one radio and split its airtime (the scale experiment models
+    each AP as one FlowLink).
+    """
+
+    def __init__(self, *args, **kwargs):
+        kwargs["shared_medium"] = True
+        super().__init__(*args, **kwargs)

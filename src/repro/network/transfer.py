@@ -69,6 +69,9 @@ def send_messages(
     """
     start = env.now
     for msg in messages:
-        yield env.process(link.transmit(env, msg.size_bytes, direction))
+        # Drive the transmit generator in-frame: no wrapper Process (or
+        # its bootstrap/completion events) per message, and interrupts
+        # land in the transmit itself instead of a proxy.
+        yield from link.transmit(env, msg.size_bytes, direction)
         log.record(msg.kind, msg.size_bytes, direction)
     return env.now - start

@@ -79,7 +79,7 @@ def replay_with_deadline(
             else:
                 if proc.is_alive:
                     proc.interrupt("client deadline exceeded")
-                yield env.process(device.execute_locally(env, request.profile))
+                yield from device.execute_locally(env, request.profile)
                 result = RequestResult(
                     request=request,
                     timeline=PhaseTimeline(),
@@ -170,7 +170,7 @@ def replay_with_retry(
                 if not result.blocked:
                     device.account_offload(result)
             else:
-                yield env.process(device.execute_locally(env, request.profile))
+                yield from device.execute_locally(env, request.profile)
                 result = RequestResult(
                     request=request,
                     timeline=PhaseTimeline(),
@@ -237,7 +237,7 @@ def replay_hybrid(
                     device.account_offload(result)
             else:
                 started = env.now
-                yield env.process(device.execute_locally(env, request.profile))
+                yield from device.execute_locally(env, request.profile)
                 result = RequestResult(
                     request=request,
                     timeline=PhaseTimeline(),

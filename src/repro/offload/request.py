@@ -76,6 +76,11 @@ class OffloadRequest:
     #: per-request task-size multiplier (a hard chess position takes
     #: longer both locally and in the cloud); 1.0 = the profile mean
     work_scale: float = 1.0
+    #: content digest of the file/parameter payload, when the client
+    #: knows it (e.g. a common dataset shipped by many devices).  The
+    #: Sharing Offloading I/O layer dedups staged payloads by digest;
+    #: None means the payload is unique to this request.
+    payload_digest: Optional[str] = None
 
     def __post_init__(self):
         if self.request_id < 0:

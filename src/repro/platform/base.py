@@ -107,18 +107,14 @@ class CloudPlatform:
     ) -> Generator:
         """Persist freshly uploaded code (platform-specific storage)."""
         code_bytes = int(request.profile.code_size_kb * KB)
-        yield self.env.process(
-            self.server.disk.write(code_bytes, virt_overhead=runtime.io_overhead)
-        )
+        yield from self.server.disk.write(code_bytes, virt_overhead=runtime.io_overhead)
 
     def fetch_code(
         self, request: OffloadRequest, runtime: RuntimeEnvironment
     ) -> Generator:
         """Read the app code into the runtime before a cold load."""
         code_bytes = int(request.profile.code_size_kb * KB)
-        yield self.env.process(
-            self.server.disk.read(code_bytes, virt_overhead=runtime.io_overhead)
-        )
+        yield from self.server.disk.read(code_bytes, virt_overhead=runtime.io_overhead)
 
     def stage_payload(
         self, request: OffloadRequest, runtime: RuntimeEnvironment
@@ -181,7 +177,7 @@ class CloudPlatform:
             or last is None
             or env.now - last > self.keepalive_s
         ):
-            yield env.process(link.connect(env))
+            yield from link.connect(env)
         timeline.add(Phase.CONNECTION, env.now - t0)
 
         # -- admission (access controller) -------------------------------------
@@ -222,9 +218,7 @@ class CloudPlatform:
             msgs = upload_messages(request.profile, include_code)
             bytes_up = sum(m.size_bytes for m in msgs)
             t0 = env.now
-            yield env.process(
-                send_messages(env, link, msgs, "up", self.transfer_log)
-            )
+            yield from send_messages(env, link, msgs, "up", self.transfer_log)
             if include_code:
                 yield from self.on_code_received(request, runtime)
             self.stage_payload(request, runtime)
@@ -239,9 +233,7 @@ class CloudPlatform:
             # -- phase 3b: result download ------------------------------------------------
             result_msg = result_message(request.profile)
             t0 = env.now
-            yield env.process(
-                send_messages(env, link, [result_msg], "down", self.transfer_log)
-            )
+            yield from send_messages(env, link, [result_msg], "down", self.transfer_log)
             timeline.add(Phase.TRANSFER, env.now - t0)
 
             self.after_execution(request, runtime)
@@ -276,7 +268,6 @@ class CloudPlatform:
 
     def _execute(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> Generator:
         """Computation Execution: cold code load, CPU work, offload I/O."""
-        env = self.env
         profile = request.profile
         if not runtime.has_app(request.app_id):
             yield from self.fetch_code(request, runtime)
@@ -298,13 +289,11 @@ class CloudPlatform:
             )
         if profile.exec_io_ops:
             dev = runtime.offload_io_device()
-            yield env.process(
-                dev.batch(
-                    profile.exec_io_ops,
-                    profile.exec_io_bytes,
-                    op="read",
-                    virt_overhead=runtime.offload_io_overhead(),
-                )
+            yield from dev.batch(
+                profile.exec_io_ops,
+                profile.exec_io_bytes,
+                op="read",
+                virt_overhead=runtime.offload_io_overhead(),
             )
         self.record_execution_effects(request, runtime)
 

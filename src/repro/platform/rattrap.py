@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
-from ..android.customize import customize_os
+from ..android.customize import CustomizedOS, customize_os
 from ..android.image import build_android_image
 from ..hostos.server import CloudServer
 from ..offload.messages import KB
@@ -32,6 +32,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment
 
 __all__ = ["RattrapPlatform"]
+
+#: The customized OS is deterministic and sealed read-only, yet every
+#: optimized platform used to rebuild it from the full Android image —
+#: measurable in multi-platform experiments (density boots five).  Build
+#: once per process and share the immutable result.
+_CUSTOM_OS: Optional[CustomizedOS] = None
+
+
+def _customized_os() -> CustomizedOS:
+    global _CUSTOM_OS
+    if _CUSTOM_OS is None:
+        _CUSTOM_OS = customize_os(build_android_image())
+    return _CUSTOM_OS
 
 
 class RattrapPlatform(CloudPlatform):
@@ -62,8 +75,7 @@ class RattrapPlatform(CloudPlatform):
                 self.server.kernel.load_module(spec, now=env.now)
         self.shared_layer: Optional[SharedResourceLayer] = None
         if optimized:
-            custom = customize_os(build_android_image())
-            self.shared_layer = SharedResourceLayer(self.server, custom)
+            self.shared_layer = SharedResourceLayer(self.server, _customized_os())
         #: apps whose code upload is in flight: later requests treat the
         #: cache as hit and wait for the upload instead of re-sending.
         self._code_pending: dict = {}
@@ -103,7 +115,7 @@ class RattrapPlatform(CloudPlatform):
         code_bytes = int(request.profile.code_size_kb * KB)
         if self.warehouse is not None:
             self.warehouse.store(request.app_id, code_bytes, now=self.env.now)
-        yield self.env.process(self.server.disk.write(code_bytes))
+        yield from self.server.disk.write(code_bytes)
         pending = self._code_pending.pop(request.app_id, None)
         self._code_owner.pop(request.app_id, None)
         if pending is not None:
@@ -121,7 +133,7 @@ class RattrapPlatform(CloudPlatform):
         """
         if self.optimized and self.shared_layer is not None:
             key = f"req-{request.request_id}"
-            if key in self.shared_layer.offload_io.staged_requests():
+            if self.shared_layer.offload_io.has_staged(key):
                 self.shared_layer.offload_io.burn(key)
         app = request.app_id
         if self._code_owner.get(app) != request.request_id:
@@ -143,9 +155,7 @@ class RattrapPlatform(CloudPlatform):
         if pending is not None and not pending.processed:
             yield pending
         code_bytes = int(request.profile.code_size_kb * KB)
-        yield self.env.process(
-            self.server.disk.read(code_bytes, virt_overhead=runtime.io_overhead)
-        )
+        yield from self.server.disk.read(code_bytes, virt_overhead=runtime.io_overhead)
 
     def on_app_loaded(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> None:
         if self.warehouse is not None:
@@ -160,9 +170,16 @@ class RattrapPlatform(CloudPlatform):
         if payload == 0:
             return
         if self.optimized and self.shared_layer is not None:
-            # Sharing Offloading I/O: stage into the shared tmpfs layer.
+            # Sharing Offloading I/O: stage into the shared tmpfs layer,
+            # content-addressed by the payload digest when the client
+            # supplied one.  A dedup hit skips the tmpfs write — the
+            # bytes are already resident.
             key = f"req-{request.request_id}"
-            self.shared_layer.offload_io.stage(key, payload, now=self.env.now)
+            fresh = self.shared_layer.offload_io.stage(
+                key, payload, now=self.env.now, digest=request.payload_digest
+            )
+            if not fresh:
+                return
             proc = self.env.process(self.server.tmpfs.write(payload))
         else:
             # Exclusive offloading I/O inside the container's own layer.
@@ -188,7 +205,7 @@ class RattrapPlatform(CloudPlatform):
         """Burn after reading: free the request's staged offload data."""
         if self.optimized and self.shared_layer is not None:
             key = f"req-{request.request_id}"
-            if key in self.shared_layer.offload_io.staged_requests():
+            if self.shared_layer.offload_io.has_staged(key):
                 self.shared_layer.offload_io.burn(key)
 
     # -------------------------------------------------------- access control

@@ -15,7 +15,7 @@ Two jobs:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..android.customize import CustomizedOS
 from ..unionfs import Layer
@@ -28,46 +28,101 @@ __all__ = ["SharedResourceLayer", "OffloadingIOLayer"]
 
 
 class OffloadingIOLayer:
-    """The shared in-memory staging area for offloaded task data."""
+    """The shared in-memory staging area for offloaded task data.
+
+    Staging is **content-addressed**: a request staged with a payload
+    ``digest`` shares the physical tmpfs copy with every other request
+    carrying the same digest (N VirusScan clones scanning against the
+    same signature database pay for one allocation).  Each entry is
+    refcounted — burn-after-reading frees the bytes only when the last
+    reader burns.  Requests staged without a digest get a private
+    synthetic one, preserving the original exclusive semantics.
+    """
 
     def __init__(self, device: "StorageDevice", name: str = "offload-io"):
         self.device = device
         self.layer = Layer(name)
-        self._sizes: Dict[str, int] = {}
+        #: request_key -> (digest, nbytes)
+        self._requests: Dict[str, Tuple[str, int]] = {}
+        #: digest -> [refcount, nbytes] (one physical copy each)
+        self._entries: Dict[str, List[int]] = {}
+        #: logical bytes staged / burned (dedup hits count fully, so
+        #: the burn==stage invariant holds per request)
         self.total_staged = 0
         self.total_burned = 0
+        #: content-addressed sharing effectiveness
+        self.dedup_hits = 0
+        self.dedup_bytes_saved = 0
 
-    def stage(self, request_key: str, nbytes: int, now: float = 0.0) -> None:
-        """Reserve space and record the staged payload for one request."""
+    def stage(
+        self,
+        request_key: str,
+        nbytes: int,
+        now: float = 0.0,
+        digest: Optional[str] = None,
+    ) -> bool:
+        """Stage one request's payload; returns True when the bytes had
+        to be materialized, False on a content-addressed hit (the
+        caller can skip the tmpfs write entirely)."""
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
-        if request_key in self._sizes:
+        if request_key in self._requests:
             raise ValueError(f"request {request_key!r} already staged")
+        if digest is None:
+            digest = f"req:{request_key}"  # private, never shared
+        path = f"/offload/{digest}"
+        entry = self._entries.get(digest)
+        if entry is not None:
+            if entry[1] != nbytes:
+                raise ValueError(
+                    f"digest {digest!r} staged with {entry[1]} bytes, "
+                    f"restaged with {nbytes}"
+                )
+            entry[0] += 1
+            self._requests[request_key] = (digest, nbytes)
+            self.total_staged += nbytes
+            self.dedup_hits += 1
+            self.dedup_bytes_saved += nbytes
+            if nbytes:
+                self.layer.link(path)
+            return False
         self.device.allocate(nbytes)
-        self._sizes[request_key] = nbytes
+        self._entries[digest] = [1, nbytes]
+        self._requests[request_key] = (digest, nbytes)
         if nbytes:
-            self.layer.add_file(f"/offload/{request_key}", nbytes,
-                                category="offload_data", mtime=now)
+            self.layer.add_file(path, nbytes, category="offload_data", mtime=now)
         self.total_staged += nbytes
+        return True
 
     def burn(self, request_key: str) -> int:
-        """'Burn after reading': free a request's staged data."""
-        nbytes = self._sizes.pop(request_key, None)
-        if nbytes is None:
+        """'Burn after reading': drop a request's reference; the bytes
+        are freed when the last sharer burns."""
+        staged = self._requests.pop(request_key, None)
+        if staged is None:
             raise KeyError(f"request {request_key!r} was never staged")
-        self.device.deallocate(nbytes)
+        digest, nbytes = staged
+        entry = self._entries[digest]
+        entry[0] -= 1
         if nbytes:
-            self.layer.remove(f"/offload/{request_key}")
+            self.layer.unlink(f"/offload/{digest}")
+        if entry[0] == 0:
+            del self._entries[digest]
+            self.device.deallocate(nbytes)
         self.total_burned += nbytes
         return nbytes
 
+    def has_staged(self, request_key: str) -> bool:
+        """Is this request's payload currently resident?  (O(1))."""
+        return request_key in self._requests
+
     @property
     def resident_bytes(self) -> int:
-        return sum(self._sizes.values())
+        """Physical bytes resident — one copy per distinct digest."""
+        return sum(entry[1] for entry in self._entries.values())
 
     def staged_requests(self) -> list:
         """Request keys currently resident in the layer."""
-        return sorted(self._sizes)
+        return sorted(self._requests)
 
 
 class SharedResourceLayer:

@@ -11,12 +11,17 @@ Time is a float in **seconds** throughout the code base.
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from .events import AllOf, AnyOf, Event, SimulationError, Timeout
 from .process import Process
 
 __all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+#: Upper bound on the Timeout free list: enough to absorb the steady
+#: state of the largest experiments without pinning memory forever.
+_TIMEOUT_POOL_CAP = 1024
 
 
 class EmptySchedule(Exception):
@@ -51,6 +56,8 @@ class Environment:
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = 0  # tie-breaker keeps FIFO order for simultaneous events
         self._active_process: Optional[Process] = None
+        #: recycled Timeout instances (see the run-loop refcount check)
+        self._timeout_pool: List[Timeout] = []
         #: the attached FaultInjector, if any (set by repro.faults);
         #: clients probe it for link blackouts via duck typing
         self.faults: Optional[Any] = None
@@ -65,13 +72,25 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    @property
+    def event_count(self) -> int:
+        """Total events scheduled so far — a throughput odometer."""
+        return self._seq
+
     # -- event factories -------------------------------------------------------
     def event(self) -> Event:
         """A bare, manually triggered event."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires ``delay`` seconds from now."""
+        """An event that fires ``delay`` seconds from now.
+
+        Timeouts dominate event traffic, so consumed ones are recycled
+        through a free list instead of hitting the allocator each time.
+        """
+        pool = self._timeout_pool
+        if pool:
+            return pool.pop()._reinit(delay, value)
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:
@@ -137,6 +156,7 @@ class Environment:
         # in which case every event must still flow through it.
         queue = self._queue
         pop = heapq.heappop
+        pool = self._timeout_pool
         fast = "step" not in self.__dict__ and type(self).step is Environment.step
         try:
             while True:
@@ -157,6 +177,17 @@ class Environment:
                     # model bugs (same policy as step()).
                     if event._exception is not None and not event.defused:
                         raise event._exception
+                    # Recycle dead Timeouts.  refcount == 2 (the loop
+                    # local + the getrefcount argument) proves nothing
+                    # else still holds the event — condition events,
+                    # interrupt bookkeeping or user code would each add
+                    # a reference and veto the recycle.
+                    if (
+                        type(event) is Timeout
+                        and len(pool) < _TIMEOUT_POOL_CAP
+                        and getrefcount(event) == 2
+                    ):
+                        pool.append(event)
                 else:
                     self.step()
         except EmptySchedule:

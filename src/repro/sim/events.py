@@ -172,6 +172,19 @@ class Timeout(Event):
         self._state = EventState.TRIGGERED
         env._enqueue(self, delay=self.delay)
 
+    def _reinit(self, delay: float, value: Any = None) -> "Timeout":
+        """Rearm a recycled instance (kernel internal, free-list path)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self.callbacks = []
+        self._value = value
+        self._exception = None
+        self.defused = False
+        self.delay = float(delay)
+        self._state = EventState.TRIGGERED
+        self.env._enqueue(self, delay=self.delay)
+        return self
+
 
 class ConditionEvent(Event):
     """Composite event over several child events.

@@ -31,6 +31,10 @@ class Layer:
         self.read_only = read_only
         self._files: Dict[str, FileNode] = {}
         self._whiteouts: Set[str] = set()
+        #: hard-link counts; absent means 1 for a present file.  Shared
+        #: content (content-addressed offload payloads) is linked once
+        #: per consumer and physically removed only at zero links.
+        self._nlinks: Dict[str, int] = {}
         #: bumped on every visibility-affecting mutation so union mounts
         #: can cache resolution results and cheaply detect staleness
         self._generation = 0
@@ -68,7 +72,44 @@ class Layer:
         if path not in self._files:
             raise LayerError(f"{path} not in layer {self.name!r}")
         del self._files[path]
+        self._nlinks.pop(path, None)
         self._generation += 1
+
+    # -- hard links ---------------------------------------------------------
+    def nlink(self, path: str) -> int:
+        """Link count of ``path`` (0 when absent, 1 when unshared)."""
+        path = normalize_path(path)
+        if path not in self._files:
+            return 0
+        return self._nlinks.get(path, 1)
+
+    def link(self, path: str) -> int:
+        """Add a hard-link reference to an existing file."""
+        self._check_writable()
+        path = normalize_path(path)
+        if path not in self._files:
+            raise LayerError(f"{path} not in layer {self.name!r}")
+        count = self._nlinks.get(path, 1) + 1
+        self._nlinks[path] = count
+        return count
+
+    def unlink(self, path: str) -> int:
+        """Drop one reference; the file is removed once links hit zero.
+
+        Returns the remaining link count.
+        """
+        self._check_writable()
+        path = normalize_path(path)
+        if path not in self._files:
+            raise LayerError(f"{path} not in layer {self.name!r}")
+        count = self._nlinks.get(path, 1) - 1
+        if count <= 0:
+            self._nlinks.pop(path, None)
+            del self._files[path]
+            self._generation += 1
+            return 0
+        self._nlinks[path] = count
+        return count
 
     def whiteout(self, path: str) -> None:
         """Hide ``path`` from lower layers (and drop a local copy if any)."""

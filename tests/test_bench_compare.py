@@ -1,0 +1,88 @@
+"""Tests for the benchmark regression gate (benchmarks/compare.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    os.path.join(os.path.dirname(__file__), os.pardir, "benchmarks", "compare.py"),
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _payload(walls):
+    return {
+        "schema_version": 1,
+        "experiments": [{"name": n, "wall_s": w} for n, w in walls.items()],
+    }
+
+
+def test_compare_flags_regressions_over_threshold():
+    rows, regressions = bench_compare.compare(
+        _payload({"fig9": 1.0, "fig10": 1.0}),
+        _payload({"fig9": 1.30, "fig10": 1.10}),
+        threshold=0.25,
+        floor_s=0.25,
+    )
+    assert [r["name"] for r in regressions] == ["fig9"]
+    assert len(rows) == 2
+    assert regressions[0]["delta"] == pytest.approx(0.30)
+
+
+def test_compare_noise_floor_skips_tiny_experiments():
+    # +400% on a 10 ms experiment is scheduler jitter, not a regression.
+    _, regressions = bench_compare.compare(
+        _payload({"sec3e": 0.01}),
+        _payload({"sec3e": 0.05}),
+        threshold=0.25,
+        floor_s=0.25,
+    )
+    assert regressions == []
+
+
+def test_compare_speedups_never_flag():
+    _, regressions = bench_compare.compare(
+        _payload({"a": 2.0}), _payload({"a": 1.0})
+    )
+    assert regressions == []
+
+
+def test_compare_ignores_experiments_missing_from_fresh():
+    rows, regressions = bench_compare.compare(
+        _payload({"a": 1.0, "b": 1.0}), _payload({"a": 1.0})
+    )
+    assert [r["name"] for r in rows] == ["a"]
+    assert regressions == []
+
+
+def test_compare_rejects_unknown_schema():
+    bad = {"schema_version": 2, "experiments": []}
+    with pytest.raises(ValueError, match="schema"):
+        bench_compare.compare(bad, _payload({}))
+    with pytest.raises(ValueError, match="schema"):
+        bench_compare.compare(_payload({}), {"experiments": []})
+
+
+def test_cli_compares_saved_runs(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    fresh = tmp_path / "fresh.json"
+    base.write_text(json.dumps(_payload({"a": 1.0})))
+    fresh.write_text(json.dumps(_payload({"a": 2.0})))
+    rc = bench_compare.main(["--baseline", str(base), "--fresh", str(fresh)])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    fresh.write_text(json.dumps(_payload({"a": 1.1})))
+    rc = bench_compare.main(["--baseline", str(base), "--fresh", str(fresh)])
+    assert rc == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_missing_baseline_is_an_error(tmp_path):
+    rc = bench_compare.main(["--baseline", str(tmp_path / "nope.json"),
+                             "--fresh", str(tmp_path / "nope.json")])
+    assert rc == 2

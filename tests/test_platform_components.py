@@ -262,6 +262,54 @@ def test_offloading_io_zero_byte_requests():
     assert io.burn("r") == 0
 
 
+def test_offloading_io_dedup_shares_physical_copy():
+    server = _server()
+    io = OffloadingIOLayer(server.tmpfs)
+    assert io.stage("req-1", 1000, digest="sig-db") is True  # materialized
+    assert io.stage("req-2", 1000, digest="sig-db") is False  # hit
+    assert io.resident_bytes == 1000  # one physical copy
+    assert server.tmpfs.bytes_stored == 1000
+    assert io.total_staged == 2000  # logical accounting is per request
+    assert io.dedup_hits == 1
+    assert io.dedup_bytes_saved == 1000
+    assert io.layer.nlink("/offload/sig-db") == 2
+
+
+def test_offloading_io_dedup_frees_on_last_burn():
+    server = _server()
+    io = OffloadingIOLayer(server.tmpfs)
+    io.stage("req-1", 1000, digest="sig-db")
+    io.stage("req-2", 1000, digest="sig-db")
+    assert io.burn("req-1") == 1000
+    # First burn drops a reference, not the bytes.
+    assert io.resident_bytes == 1000
+    assert server.tmpfs.bytes_stored == 1000
+    assert io.layer.nlink("/offload/sig-db") == 1
+    assert io.burn("req-2") == 1000
+    assert io.resident_bytes == 0
+    assert server.tmpfs.bytes_stored == 0
+    assert io.layer.nlink("/offload/sig-db") == 0
+    assert io.total_burned == io.total_staged == 2000
+
+
+def test_offloading_io_digest_size_mismatch_rejected():
+    server = _server()
+    io = OffloadingIOLayer(server.tmpfs)
+    io.stage("a", 1000, digest="d")
+    with pytest.raises(ValueError, match="digest"):
+        io.stage("b", 999, digest="d")
+
+
+def test_offloading_io_without_digest_stays_private():
+    server = _server()
+    io = OffloadingIOLayer(server.tmpfs)
+    io.stage("a", 1000)
+    io.stage("b", 1000)  # same size, but no digest: never shared
+    assert io.resident_bytes == 2000
+    assert io.dedup_hits == 0
+    assert io.dedup_bytes_saved == 0
+
+
 def test_shared_resource_layer_accounts_base_once():
     server = _server()
     custom = customize_os(build_android_image())

@@ -1,0 +1,46 @@
+"""Smoke tests for the opt-in scale experiment (experiments/scale.py).
+
+The full 1k-10k ramp runs via ``make scale``; here a miniature ramp
+step checks the wiring — every device served, content-addressed dedup
+engaged, metrics populated — without the CI cost of the real thing.
+"""
+
+from repro.experiments.scale import SERVERS, _scale_cell, cells, merge, report
+
+
+def test_scale_cell_serves_every_device():
+    m = _scale_cell(devices=50)
+    assert m["completed"] == 50
+    assert m["sim_s"] > 0
+    assert m["events"] > 0
+    assert m["mean_response_s"] > 0
+    assert m["max_active_flows"] >= 1
+    assert m["peak_rss_mb"] > 0
+
+
+def test_scale_cell_dedups_shared_payload():
+    # Every device ships the same signature DB: per node the first
+    # staging materializes, every later one is a content-addressed hit.
+    m = _scale_cell(devices=50)
+    assert m["dedup_hits"] == 50 - SERVERS
+    assert m["dedup_saved_bytes"] > 0
+    assert m["staged_bytes"] > m["dedup_saved_bytes"]
+
+
+def test_scale_cell_deterministic():
+    a = _scale_cell(devices=30)
+    b = _scale_cell(devices=30)
+    # Wall clock and RSS vary run to run; the simulation itself must not.
+    for key in ("completed", "sim_s", "events", "mean_response_s",
+                "max_active_flows", "runtimes", "dedup_hits",
+                "dedup_saved_bytes", "staged_bytes"):
+        assert a[key] == b[key], key
+
+
+def test_scale_report_renders_ramp_and_headline():
+    cs = cells()
+    data = merge(cs[:1], [_scale_cell(devices=50)])
+    text = report(data)
+    assert "req/s" in text
+    assert "dedup" in text
+    assert "sustained" in text

@@ -385,6 +385,81 @@ def test_peek_reports_next_event_time():
     assert env.peek() == float("inf")
 
 
+def test_run_until_horizon_includes_boundary_event():
+    env = Environment()
+    hits = []
+    env.defer(lambda: hits.append("at"), delay=1.0)
+    env.defer(lambda: hits.append("after"), delay=1.0 + 1e-9)
+    env.run(until=1.0)
+    # An event scheduled exactly at the horizon fires; the first event
+    # strictly beyond it stays queued and peek() reports its time.
+    assert hits == ["at"]
+    assert env.now == 1.0
+    assert env.peek() == 1.0 + 1e-9
+    env.run()
+    assert hits == ["at", "after"]
+
+
+def test_defer_beyond_horizon_is_pending_not_lost():
+    env = Environment()
+    hits = []
+    env.defer(lambda: hits.append(env.now), delay=5.0)
+    env.run(until=2.0)
+    assert hits == []
+    assert env.now == 2.0
+    assert env.peek() == 5.0
+    env.run(until=5.0)
+    assert hits == [5.0]
+    assert env.peek() == float("inf")
+
+
+def test_event_count_tracks_scheduled_events():
+    env = Environment()
+    base = env.event_count
+    env.timeout(1.0)
+    env.timeout(2.0)
+    assert env.event_count == base + 2
+
+
+# ------------------------------------------------------------ timeout pool
+def test_timeout_pool_recycles_and_reuses():
+    env = Environment()
+
+    def proc(env):
+        for _ in range(3):
+            yield env.timeout(1.0)
+
+    env.run(until=env.process(proc(env)))
+    assert env._timeout_pool
+    recycled = env._timeout_pool[-1]
+    assert env.timeout(0.5) is recycled
+
+
+def test_timeout_pool_skips_events_still_referenced():
+    env = Environment()
+    held = env.timeout(1.0)  # the test's reference vetoes recycling
+    env.run()
+    assert held.processed
+    assert held not in env._timeout_pool
+    assert not env._timeout_pool
+
+
+def test_pooled_timeout_resets_value_and_validates_delay():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append((yield env.timeout(1.0, value="payload")))
+
+    env.run(until=env.process(proc(env)))
+    assert seen == ["payload"]
+    assert env._timeout_pool
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+    fresh = env.timeout(0.0)
+    assert fresh.value is None  # no stale value leaks out of the pool
+
+
 def test_many_processes_scale():
     env = Environment()
     done = []

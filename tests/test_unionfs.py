@@ -81,6 +81,35 @@ def test_layer_remove_missing_rejected():
         Layer("l").remove("/ghost")
 
 
+def test_layer_hard_links_refcount_file():
+    layer = Layer("io")
+    layer.add_file("/offload/digest", 100)
+    assert layer.nlink("/offload/digest") == 1
+    assert layer.nlink("/missing") == 0
+    assert layer.link("/offload/digest") == 2
+    assert layer.unlink("/offload/digest") == 1
+    assert layer.has("/offload/digest")  # survivors keep the file alive
+    assert layer.unlink("/offload/digest") == 0
+    assert not layer.has("/offload/digest")
+    with pytest.raises(LayerError):
+        layer.unlink("/offload/digest")
+    with pytest.raises(LayerError):
+        layer.link("/ghost")
+
+
+def test_layer_hard_links_respect_read_only_and_remove():
+    sealed = Layer("base")
+    sealed.add_file("/x", 1)
+    sealed.seal()
+    with pytest.raises(LayerError):
+        sealed.link("/x")
+    layer = Layer("io")
+    layer.add_file("/y", 1)
+    layer.link("/y")
+    layer.remove("/y")  # remove drops the file and its link count
+    assert layer.nlink("/y") == 0
+
+
 def test_layer_whiteout_drops_local_copy():
     layer = Layer("top")
     layer.add_file("/x", 5)
