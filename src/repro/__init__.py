@@ -12,6 +12,7 @@ Subpackages
 ``repro.network``    mobile network links (LAN/WAN WiFi, 3G, 4G)
 ``repro.offload``    offloading framework (messages, devices, energy)
 ``repro.platform``   Rattrap itself + the VM-cloud baseline
+``repro.obs``        request tracing + metrics registry (off by default)
 ``repro.workloads``  the four calibrated benchmark workloads
 ``repro.apps``       real compute kernels (OCR, chess, scan, Linpack)
 ``repro.traces``     LiveLab-style trace generation and replay

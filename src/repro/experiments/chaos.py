@@ -27,6 +27,7 @@ from typing import Any, Dict, List
 from ..analysis import render_table
 from ..faults import FaultInjector, FaultPlan
 from ..network import make_link
+from ..obs import Observability
 from ..offload import MobileDevice, RetryPolicy, replay_with_retry
 from ..platform import ClusterPlatform
 from ..sim import Environment
@@ -65,6 +66,9 @@ def _p99(values: List[float]) -> float:
 def _chaos_cell(scenario: str, seed: int = 1) -> Dict[str, Any]:
     """One scenario run: cluster + injector + retry client, all seeded."""
     env = Environment()
+    # Tracing on: the report grades recovery, and the span/fault
+    # counters show *where* the injected failures bit.
+    obs = Observability(env, tracing=True, metrics=True)
     cluster = ClusterPlatform(
         env, servers=SERVERS, policy="device-sticky", breaker_reset_s=5.0
     )
@@ -98,6 +102,9 @@ def _chaos_cell(scenario: str, seed: int = 1) -> Dict[str, Any]:
         "faults_skipped": injector.skipped,
         "failovers": cluster.failovers,
         "breaker_trips": sum(h.trips for h in cluster.health),
+        "span_breakdown": obs.tracer.by_kind(),
+        "retries": obs.metrics.counter("client.retries").value,
+        "runtime_crashes": obs.metrics.counter("runtime.crashes").value,
     }
 
 
@@ -169,7 +176,41 @@ def report(data: Dict[str, Dict[str, Any]]) -> str:
             f"\n\nsingle-node outage availability: "
             f"{100.0 * outage['availability']:.1f}% (target >= 99%) [{verdict}]"
         )
-    return table + note
+    return table + "\n\n" + _span_report(data) + note
+
+
+def _span_report(data: Dict[str, Dict[str, Any]]) -> str:
+    """Where the sim time went per scenario (tracing breakdown)."""
+
+    def total(m: Dict[str, Any], kind: str) -> float:
+        return m["span_breakdown"].get(kind, {}).get("total_s", 0.0)
+
+    rows = []
+    for scenario, m in data.items():
+        rows.append(
+            [
+                scenario,
+                f"{total(m, 'queued'):.1f}",
+                f"{total(m, 'boot'):.1f}",
+                f"{total(m, 'upload'):.1f}",
+                f"{total(m, 'execute'):.1f}",
+                f"{int(m['retries'])}",
+                f"{int(m['runtime_crashes'])}",
+            ]
+        )
+    return render_table(
+        [
+            "scenario",
+            "queued (s)",
+            "boot (s)",
+            "upload (s)",
+            "execute (s)",
+            "retries",
+            "crashes",
+        ],
+        rows,
+        title="Chaos: span totals per scenario (sim seconds)",
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -163,6 +163,25 @@ def export_experiment(name: str, directory: str) -> str:
     return path
 
 
+def _dump_obs(name: str, directory: str) -> str:
+    """Write the experiment's drained observability snapshots as JSON.
+
+    One file per experiment, holding a list of per-environment
+    snapshots (an experiment may create many environments — one per
+    cell) in creation order.
+    """
+    import json
+    import os
+
+    from .. import obs as obs_mod
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.obs.json")
+    with open(path, "w") as fh:
+        json.dump(obs_mod.drain(), fh, indent=1)
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="rattrap-experiments",
@@ -203,6 +222,25 @@ def main(argv=None) -> int:
         help="cProfile one experiment and print the top-20 cumulative "
         "entries instead of running the suite",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable request tracing in every experiment environment and "
+        "dump the spans per experiment (see --obs-dir)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the metrics registry in every experiment environment "
+        "and dump snapshots per experiment (see --obs-dir)",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        default="obs",
+        help="directory for per-experiment observability JSON dumps "
+        "(default: obs/; only written with --trace/--metrics)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 0:
@@ -233,19 +271,39 @@ def main(argv=None) -> int:
         print(f"known: {', '.join(registry)}", file=sys.stderr)
         return 2
 
+    obs_enabled = args.trace or args.metrics
+    if obs_enabled:
+        from .. import obs as obs_mod
+
+        if args.jobs > 1:
+            # Worker-process environments are invisible to this process;
+            # observability capture needs the cells to run in-process.
+            print(
+                "[obs] --trace/--metrics run the cells serially "
+                f"(ignoring --jobs {args.jobs})"
+            )
+            args.jobs = 0
+        obs_mod.enable_auto(tracing=args.trace, metrics=args.metrics)
+
     bench_rows = []
     suite_t0 = time.perf_counter()
-    for name in names:
-        t0 = time.perf_counter()
-        with collect_timings() as timings:
-            text = run_experiment(name, jobs=args.jobs)
-        elapsed = time.perf_counter() - t0
-        bench_rows.append({"name": name, "wall_s": elapsed, "timings": list(timings)})
-        print(f"\n{'#' * 72}\n# {name}: {registry[name][1]}  ({elapsed:.1f}s)\n{'#' * 72}")
-        print(text)
-        if args.export:
-            path = export_experiment(name, args.export)
-            print(f"[exported {path}]")
+    try:
+        for name in names:
+            t0 = time.perf_counter()
+            with collect_timings() as timings:
+                text = run_experiment(name, jobs=args.jobs)
+            elapsed = time.perf_counter() - t0
+            bench_rows.append({"name": name, "wall_s": elapsed, "timings": list(timings)})
+            print(f"\n{'#' * 72}\n# {name}: {registry[name][1]}  ({elapsed:.1f}s)\n{'#' * 72}")
+            print(text)
+            if args.export:
+                path = export_experiment(name, args.export)
+                print(f"[exported {path}]")
+            if obs_enabled:
+                print(f"[obs written to {_dump_obs(name, args.obs_dir)}]")
+    finally:
+        if obs_enabled:
+            obs_mod.disable_auto()
     if args.bench:
         import json
 

@@ -34,6 +34,7 @@ import numpy as np
 from ..analysis import render_table
 from ..network.link import FlowLink
 from ..network.scenarios import SCENARIOS
+from ..obs import PHASE_KINDS, Observability
 from ..offload.request import OffloadRequest
 from ..platform import ClusterPlatform, RattrapPlatform
 from ..sim import Environment
@@ -59,6 +60,10 @@ def _scale_cell(devices: int, seed: int = 1) -> Dict[str, Any]:
     import resource
 
     env = Environment()
+    # Tracing stays on for the whole ramp: the span breakdown *is* part
+    # of the deliverable (per-phase accounting of the 10k-device step),
+    # and it doubles as a live overhead measurement for repro.obs.
+    obs = Observability(env, tracing=True, metrics=True)
     cluster = ClusterPlatform(
         env,
         servers=SERVERS,
@@ -99,7 +104,15 @@ def _scale_cell(devices: int, seed: int = 1) -> Dict[str, Any]:
     completed = cluster.completed()
     response_times = [r.response_time for r in completed]
     ios = [node.shared_layer.offload_io for node in cluster.nodes]
+    breakdown = obs.tracer.by_kind()
     return {
+        "span_breakdown": breakdown,
+        "phase_sum_s": obs.tracer.phase_total_s(),
+        "e2e_sum_s": sum(response_times),
+        "warehouse_hit_rate": (
+            sum(node.warehouse.hit_rate for node in cluster.nodes)
+            / len(cluster.nodes)
+        ),
         "devices": devices,
         "completed": len(completed),
         "sim_s": env.now,
@@ -180,7 +193,7 @@ def report(data: Dict[int, Dict[str, Any]]) -> str:
     )
     top = data[max(data)]
     hit_rate = 100.0 * top["dedup_hits"] / top["completed"]
-    return table + (
+    summary = table + (
         f"\n\n{top['devices']} devices: "
         f"{top['completed'] / top['wall_s']:.0f} req/s sustained, "
         f"{top['events'] / top['wall_s'] / 1e3:.0f}k events/s, "
@@ -188,6 +201,34 @@ def report(data: Dict[int, Dict[str, Any]]) -> str:
         f"dedup saved {top['dedup_saved_bytes'] / MB:.0f} MB "
         f"({hit_rate:.0f}% of stagings were hits), "
         f"{top['runtimes']} runtimes booted for {top['devices']} devices"
+    )
+    return summary + "\n\n" + _phase_report(top)
+
+
+def _phase_report(top: Dict[str, Any]) -> str:
+    """Span breakdown of the largest ramp step (tracing accounting).
+
+    The five request phases tile each request's serve time exactly, so
+    their summed durations must reconcile with the summed end-to-end
+    response times — the coverage line makes any drift visible.
+    """
+    breakdown = top["span_breakdown"]
+    e2e = top["e2e_sum_s"]
+    rows = []
+    for kind in PHASE_KINDS:
+        entry = breakdown.get(kind, {"count": 0, "total_s": 0.0})
+        share = 100.0 * entry["total_s"] / e2e if e2e else 0.0
+        rows.append([kind, f"{entry['count']}", f"{entry['total_s']:.1f}", f"{share:.1f}"])
+    phase_table = render_table(
+        ["phase", "spans", "total (s)", "% of e2e"],
+        rows,
+        title=f"Span breakdown — {top['devices']}-device step",
+    )
+    coverage = 100.0 * top["phase_sum_s"] / e2e if e2e else 0.0
+    return phase_table + (
+        f"\n\nphase spans cover {coverage:.2f}% of {e2e:.1f}s summed "
+        f"end-to-end latency (target: within 1%); "
+        f"warehouse hit rate {100.0 * top['warehouse_hit_rate']:.1f}%"
     )
 
 

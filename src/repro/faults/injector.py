@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
+from ..obs import metrics_of
 from ..sim.rng import RandomStreams
 from .errors import LinkBlackout
 from .plan import Fault, FaultPlan
@@ -95,12 +96,18 @@ class FaultInjector:
         node = self._nodes[fault.node]
         cid = fault.cid if fault.cid is not None else self._pick_victim(node)
         if cid is None:
-            self.skipped += 1
+            self._skip()
             return
         if node.crash_runtime(cid, reason="injected crash"):
             self._log(fault, target=cid)
         else:
-            self.skipped += 1
+            self._skip()
+
+    def _skip(self) -> None:
+        self.skipped += 1
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter("faults.skipped").inc()
 
     def _pick_victim(self, node: Any) -> Optional[str]:
         """Seeded pick among live runtimes, busiest tier first."""
@@ -121,3 +128,6 @@ class FaultInjector:
         self.injected.append(
             {"kind": fault.kind, "at_s": self.env.now, "target": target}
         )
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter(f"faults.{fault.kind}").inc()

@@ -17,6 +17,8 @@ from typing import TYPE_CHECKING, Generator, List, Optional
 
 import numpy as np
 
+from ..obs import DEFAULT_COUNT_BUCKETS, metrics_of, trace_span
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment
     from ..sim.events import Event
@@ -243,27 +245,38 @@ class Link:
         bw = self._bw(direction)
         wire_bytes = self._effective_bytes(nbytes)
         latency = self.one_way_delay() * self.handshake_rounds
-        if self.shared_medium:
-            start = env.now
-            yield env.timeout(latency)
-            channel = self._channel_for(env)
-            flow = channel.add(wire_bytes, bw)
-            try:
-                yield flow.done
-            except BaseException:
-                # Interrupted mid-flight: free our share of the medium.
-                channel.cancel(flow)
-                raise
-            duration = env.now - start
-        else:
-            duration = latency + wire_bytes / bw
-            yield env.timeout(duration)
+        with trace_span(env, "transfer", who=f"{self.name}/{direction}"):
+            if self.shared_medium:
+                start = env.now
+                yield env.timeout(latency)
+                channel = self._channel_for(env)
+                flow = channel.add(wire_bytes, bw)
+                metrics = metrics_of(env)
+                if metrics is not None:
+                    metrics.gauge("link.active_flows").set(channel.active_flows)
+                    metrics.histogram(
+                        "link.concurrent_flows", bounds=DEFAULT_COUNT_BUCKETS
+                    ).observe(channel.active_flows)
+                try:
+                    yield flow.done
+                except BaseException:
+                    # Interrupted mid-flight: free our share of the medium.
+                    channel.cancel(flow)
+                    raise
+                duration = env.now - start
+            else:
+                duration = latency + wire_bytes / bw
+                yield env.timeout(duration)
         if direction == "up":
             self.bytes_up += int(nbytes)
             self.wire_bytes_up += int(wire_bytes)
         else:
             self.bytes_down += int(nbytes)
             self.wire_bytes_down += int(wire_bytes)
+        metrics = metrics_of(env)
+        if metrics is not None:
+            metrics.counter(f"link.bytes_{direction}").inc(float(nbytes))
+            metrics.counter(f"link.wire_bytes_{direction}").inc(float(wire_bytes))
         return duration
 
     def connect(self, env: "Environment") -> Generator:

@@ -1,0 +1,227 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Every instrument is owned by a :class:`MetricsRegistry` (one per
+:class:`~repro.sim.core.Environment`, attached through
+:class:`repro.obs.Observability`) and is keyed by a dotted component
+name — ``dispatch.cold_boots``, ``io.resident_bytes``,
+``platform.response_s`` — so a snapshot reads like a catalogue of the
+platform's state.
+
+Design constraints:
+
+- **deterministic** — snapshots contain only values derived from
+  simulated time and simulated work, sorted by name, so identical
+  seeds produce byte-identical JSON;
+- **dependency-free** — percentiles come from fixed-bucket histograms
+  (nearest-rank over the cumulative bucket counts), not numpy;
+- **cheap** — instruments are plain ``__slots__`` objects mutated with
+  one or two attribute writes per observation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+]
+
+#: latency-style bucket upper bounds in seconds (1 ms .. 2 min, ~geometric)
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.002, 0.005,
+    0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0,
+    120.0,
+)
+
+#: occupancy-style bucket upper bounds (queue depths, concurrent flows)
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 100.0, 200.0, 500.0,
+)
+
+
+class Counter:
+    """Monotone counter (requests served, bytes staged, faults injected)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """Instantaneous value with a high-water mark (queue depth, bytes)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+        if self.value > self.max_value:
+            self.max_value = self.value
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta``."""
+        self.set(self.value + delta)
+
+
+class Histogram:
+    """Fixed-bucket histogram with nearest-rank percentile estimates.
+
+    ``bounds`` are the inclusive upper edges of each bucket; one
+    implicit overflow bucket catches everything above the last edge.
+    ``quantile(q)`` returns the upper edge of the bucket holding the
+    nearest-rank observation (the exact maximum for the overflow
+    bucket) — coarse, deterministic, and allocation-free.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r}: bounds must be sorted and non-empty")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the histogram."""
+        value = float(value)
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # leftmost bound >= value
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate (bucket upper edge)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for idx, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= rank:
+                if idx < len(self.bounds):
+                    return min(self.bounds[idx], self.max)
+                return self.max  # overflow bucket: the max is exact
+        return self.max  # pragma: no cover - defensive
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary: moments, percentiles, occupied buckets."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": [
+                [self.bounds[i] if i < len(self.bounds) else None, n]
+                for i, n in enumerate(self.counts)
+                if n
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one environment."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The histogram under ``name``; ``bounds`` apply on creation only."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_TIME_BUCKETS
+            )
+        return h
+
+    # -- snapshots -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The whole registry as sorted, JSON-serializable dicts.
+
+        Safe to call mid-run: instruments are read, never reset.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"value": g.value, "max": g.max_value}
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Counter values whose name starts with ``prefix`` (sorted)."""
+        return {
+            n: c.value
+            for n, c in sorted(self._counters.items())
+            if n.startswith(prefix)
+        }

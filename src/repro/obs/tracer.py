@@ -1,0 +1,137 @@
+"""Request tracing: typed spans on the simulated clock.
+
+A :class:`Span` is one timed region of the request lifecycle —
+``queued`` (dispatcher wait), ``boot`` (runtime cold start), ``upload``
+/ ``collect`` (transfers), ``stage`` (code persistence), ``execute``
+(compute), plus ``connect`` and ``transfer`` detail spans.  Spans are
+recorded by the per-environment :class:`Tracer` with **simulated**
+timestamps, so a fixed seed yields a byte-identical span sequence —
+traces are regression artifacts, not just debugging aids.
+
+Spans carry a ``trace`` string (the originating request's
+``trace_id``) and a ``who`` string (link name, container id, ...).
+Nested spans are naturally represented by containment of their
+``[start, end]`` intervals; the five serve-phase kinds
+(:data:`PHASE_KINDS`) tile a request's response time exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Environment
+
+__all__ = ["Span", "Tracer", "PHASE_KINDS"]
+
+#: serve-path phase spans: together they tile a request's lifetime
+PHASE_KINDS: Tuple[str, ...] = ("connect", "prepare", "upload", "execute", "collect")
+
+
+class Span:
+    """One timed region; ``end`` is NaN while the span is open."""
+
+    __slots__ = ("kind", "who", "trace", "start", "end")
+
+    def __init__(self, kind: str, who: str, trace: str, start: float):
+        self.kind = kind
+        self.who = who
+        self.trace = trace
+        self.start = start
+        self.end = math.nan
+
+    @property
+    def open(self) -> bool:
+        return math.isnan(self.end)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated seconds (NaN while still open)."""
+        return self.end - self.start
+
+    def as_row(self) -> List[object]:
+        """JSON-ready row: [kind, who, trace, start, end]."""
+        return [self.kind, self.who, self.trace, self.start,
+                None if self.open else self.end]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = "…" if self.open else f"{self.end:.6f}"
+        return f"<Span {self.kind} {self.trace or self.who} [{self.start:.6f}, {end}]>"
+
+
+class _SpanContext:
+    """Context manager closing its span at ``env.now`` on exit.
+
+    The span closes even when the guarded block raises (interrupt,
+    injected fault): a severed request's trace shows exactly when and
+    in which phase it died.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer.finish(self._span)
+        return False
+
+
+class Tracer:
+    """Append-only span collector for one environment."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: spans in begin order (deterministic under a fixed seed)
+        self.spans: List[Span] = []
+
+    # -- recording -----------------------------------------------------------
+    def begin(self, kind: str, who: str = "", trace: str = "") -> Span:
+        """Open a span at the current simulated time."""
+        span = Span(kind, who, trace, self.env.now)
+        self.spans.append(span)
+        return span
+
+    def finish(self, span: Span) -> Span:
+        """Close a span at the current simulated time (idempotent)."""
+        if span.open:
+            span.end = self.env.now
+        return span
+
+    def span(self, kind: str, who: str = "", trace: str = "") -> _SpanContext:
+        """``with tracer.span(...):`` — open now, close on block exit."""
+        return _SpanContext(self, self.begin(kind, who, trace))
+
+    # -- aggregation ---------------------------------------------------------
+    def by_kind(self) -> Dict[str, Dict[str, float]]:
+        """Per-kind ``{"count": n, "total_s": seconds}`` (sorted by kind).
+
+        Open spans are excluded — their duration is undefined.
+        """
+        agg: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            if span.open:
+                continue
+            row = agg.get(span.kind)
+            if row is None:
+                row = agg[span.kind] = {"count": 0, "total_s": 0.0}
+            row["count"] += 1
+            row["total_s"] += span.duration
+        return {kind: agg[kind] for kind in sorted(agg)}
+
+    def phase_total_s(self) -> float:
+        """Seconds covered by the serve-phase spans (:data:`PHASE_KINDS`)."""
+        agg = self.by_kind()
+        return sum(agg[k]["total_s"] for k in PHASE_KINDS if k in agg)
+
+    def as_rows(self) -> List[List[object]]:
+        """Every span as a JSON-ready row, in begin order."""
+        return [span.as_row() for span in self.spans]
+
+    def __len__(self) -> int:
+        return len(self.spans)

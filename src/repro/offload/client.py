@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Sequence
 
 from ..network.link import Link
+from ..obs import metrics_of
 from .device import MobileDevice
 from .request import RequestResult
 
@@ -150,6 +151,9 @@ def replay_with_retry(
             attempt = 0
             for attempt in range(1, policy.max_attempts + 1):
                 if attempt > 1:
+                    metrics = metrics_of(env)
+                    if metrics is not None:
+                        metrics.counter("client.retries").inc()
                     yield env.timeout(policy.delay_s(attempt - 1, rng))
                 faults = getattr(env, "faults", None)
                 if faults is not None and faults.link_down(device_id):

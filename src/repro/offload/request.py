@@ -81,12 +81,19 @@ class OffloadRequest:
     #: Sharing Offloading I/O layer dedups staged payloads by digest;
     #: None means the payload is unique to this request.
     payload_digest: Optional[str] = None
+    #: trace context: every span this request produces (dispatcher
+    #: wait, runtime boot, transfers, execution) carries this id, so a
+    #: slow request decomposes into its phases across components.
+    #: Derived from device/app/request ids unless the client sets one.
+    trace_id: str = ""
 
     def __post_init__(self):
         if self.request_id < 0:
             raise ValueError("request_id must be >= 0")
         if self.work_scale <= 0:
             raise ValueError("work_scale must be positive")
+        if not self.trace_id:
+            self.trace_id = f"{self.device_id}/{self.app_id}/{self.request_id}"
 
 
 @dataclass

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Tup
 from ..faults.errors import NodeDown, RuntimeCrashed
 from ..hostos.server import CloudServer
 from ..network.link import Link
+from ..obs import metrics_of, trace_span
 from ..network.transfer import TransferLog, send_messages
 from ..offload.messages import KB, upload_messages, result_message
 from ..offload.request import OffloadRequest, Phase, PhaseTimeline, RequestResult
@@ -177,7 +178,8 @@ class CloudPlatform:
             or last is None
             or env.now - last > self.keepalive_s
         ):
-            yield from link.connect(env)
+            with trace_span(env, "connect", who=link.name, trace=request.trace_id):
+                yield from link.connect(env)
         timeline.add(Phase.CONNECTION, env.now - t0)
 
         # -- admission (access controller) -------------------------------------
@@ -196,9 +198,10 @@ class CloudPlatform:
 
         # -- phase 2: runtime preparation ----------------------------------------
         t0 = env.now
-        if analysis_s:
-            yield env.timeout(analysis_s)
-        record: ContainerRecord = yield from self.dispatcher.acquire(request)
+        with trace_span(env, "prepare", who=self.name, trace=request.trace_id):
+            if analysis_s:
+                yield env.timeout(analysis_s)
+            record: ContainerRecord = yield from self.dispatcher.acquire(request)
         runtime = record.runtime
         timeline.add(Phase.PREPARATION, env.now - t0)
 
@@ -206,7 +209,8 @@ class CloudPlatform:
         # containers) — part of the network-connection phase.
         if runtime.net_overhead_s:
             t0 = env.now
-            yield env.timeout(runtime.net_overhead_s)
+            with trace_span(env, "connect", who="guest-net", trace=request.trace_id):
+                yield env.timeout(runtime.net_overhead_s)
             timeline.add(Phase.CONNECTION, env.now - t0)
 
         self.scheduler.request_started(record.cid)
@@ -218,26 +222,33 @@ class CloudPlatform:
             msgs = upload_messages(request.profile, include_code)
             bytes_up = sum(m.size_bytes for m in msgs)
             t0 = env.now
-            yield from send_messages(env, link, msgs, "up", self.transfer_log)
-            if include_code:
-                yield from self.on_code_received(request, runtime)
-            self.stage_payload(request, runtime)
+            with trace_span(env, "upload", who=link.name, trace=request.trace_id):
+                yield from send_messages(env, link, msgs, "up", self.transfer_log)
+                if include_code:
+                    with trace_span(env, "stage", who=self.name, trace=request.trace_id):
+                        yield from self.on_code_received(request, runtime)
+                self.stage_payload(request, runtime)
             timeline.add(Phase.TRANSFER, env.now - t0)
 
             # -- phase 4: computation execution ----------------------------------------
             t0 = env.now
             cache_hit = not include_code
-            yield from self._execute(request, runtime)
+            with trace_span(env, "execute", who=record.cid, trace=request.trace_id):
+                yield from self._execute(request, runtime)
             timeline.add(Phase.EXECUTION, env.now - t0)
 
             # -- phase 3b: result download ------------------------------------------------
             result_msg = result_message(request.profile)
             t0 = env.now
-            yield from send_messages(env, link, [result_msg], "down", self.transfer_log)
+            with trace_span(env, "collect", who=link.name, trace=request.trace_id):
+                yield from send_messages(env, link, [result_msg], "down", self.transfer_log)
             timeline.add(Phase.TRANSFER, env.now - t0)
 
             self.after_execution(request, runtime)
         except BaseException as exc:
+            metrics = metrics_of(env)
+            if metrics is not None:
+                metrics.counter("platform.request_failures").inc()
             self.on_request_failed(request, exc)
             raise
         finally:
@@ -253,6 +264,12 @@ class CloudPlatform:
 
         runtime.requests_served += 1
         self._last_contact[request.device_id] = env.now
+        metrics = metrics_of(env)
+        if metrics is not None:
+            metrics.counter("platform.requests").inc()
+            if cache_hit:
+                metrics.counter("platform.code_cache_hits").inc()
+            metrics.histogram("platform.response_s").observe(env.now - started)
         result = RequestResult(
             request=request,
             timeline=timeline,

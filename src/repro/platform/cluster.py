@@ -25,6 +25,7 @@ import hashlib
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..network.link import Link
+from ..obs import metrics_of
 from ..offload.request import OffloadRequest, RequestResult
 from .base import CloudPlatform
 from .rattrap import RattrapPlatform
@@ -127,6 +128,9 @@ class ClusterPlatform:
                 if self._available(idx):
                     if self.routed.get(request.device_id) not in (None, idx):
                         self.failovers += 1
+                        metrics = metrics_of(self.env)
+                        if metrics is not None:
+                            metrics.counter("cluster.failovers").inc()
                     self.routed[request.device_id] = idx
                     return idx
             # Whole fleet dark: keep the sticky assignment; the request
@@ -163,10 +167,16 @@ class ClusterPlatform:
                     # The node actually failed the request: feed the
                     # circuit breaker before surfacing the failure.
                     self.health[idx].record_failure(env.now)
+                    metrics = metrics_of(env)
+                    if metrics is not None:
+                        metrics.counter("cluster.request_failures").inc()
                 raise
             self.health[idx].record_success()
             self._served_by_node[idx] += 1
             self.results.append(result)
+            metrics = metrics_of(env)
+            if metrics is not None:
+                metrics.counter("cluster.requests_served").inc()
             return result
 
         return self.env.process(collect(self.env))

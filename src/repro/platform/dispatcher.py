@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
 
+from ..obs import metrics_of, trace_span
 from ..offload.request import OffloadRequest
 from ..runtime.base import RuntimeEnvironment, RuntimeState
 from .container_db import ContainerDB, ContainerRecord
@@ -78,18 +79,24 @@ class Dispatcher:
         """Process generator: resolve a READY runtime for ``request``.
 
         Returns the :class:`ContainerRecord`.  Elapsed simulated time is
-        the request's *Runtime Preparation* phase.
+        the request's *Runtime Preparation* phase — traced as one
+        ``queued`` span covering warm waits, shared-boot waits and cold
+        boots alike (crash-recovery re-acquisition stays inside it).
         """
+        with trace_span(self.env, "queued", who="dispatcher", trace=request.trace_id):
+            return (yield from self._acquire(request))
+
+    def _acquire(self, request: OffloadRequest) -> Generator:
         if self.policy == "app-affinity":
             record = self._affinity_candidate(request)
             if record is not None:
-                self.warm_dispatches += 1
+                self._count_warm()
                 yield self.env.timeout(self.warm_dispatch_s)
                 return record
         key = self.allocation_key(request)
         record = self._record_for_key(key)
         if record is not None and record.runtime.is_ready:
-            self.warm_dispatches += 1
+            self._count_warm()
             yield self.env.timeout(self.warm_dispatch_s)
             return record
         boot_event = self._boots.get(key)
@@ -108,13 +115,19 @@ class Dispatcher:
                     # The shared boot died under an injected fault; the
                     # dead record was already evicted — start over (a
                     # fresh boot, or a runtime that survived elsewhere).
-                    return (yield from self.acquire(request))
+                    return (yield from self._acquire(request))
                 raise
             record = self._record_for_key(key)
             if record is None:
                 record = self._boot_records[key]
             return record
         return (yield from self._cold_boot(key, request))
+
+    def _count_warm(self) -> None:
+        self.warm_dispatches += 1
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter("dispatch.warm_dispatches").inc()
 
     def _record_for_key(self, key: str) -> Optional[ContainerRecord]:
         if key.startswith("app:"):
@@ -144,6 +157,10 @@ class Dispatcher:
         self._boot_records[key] = record
         boot = self.env.process(runtime.boot())
         self._boots[key] = boot
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter("dispatch.cold_boots").inc()
+            metrics.gauge("dispatch.pending_boots").set(len(self._boots))
         # Bookkeeping settles in an event callback, not after the yield:
         # callbacks run before any waiter resumes, so every waiter — and
         # an interrupted initiator's successors — observes a consistent
@@ -159,7 +176,7 @@ class Dispatcher:
             ):
                 # Our own boot was killed by a fault — recover by
                 # re-entering acquisition from the top.
-                return (yield from self.acquire(request))
+                return (yield from self._acquire(request))
             raise
         return record
 
@@ -167,6 +184,9 @@ class Dispatcher:
         """Boot-completion bookkeeping (runs before waiters resume)."""
         if self._boots.get(key) is boot:
             del self._boots[key]
+            metrics = metrics_of(self.env)
+            if metrics is not None:
+                metrics.gauge("dispatch.pending_boots").set(len(self._boots))
         if boot.exception is None:
             return
         # Failed boot: evict the dead record so nothing dispatches to it

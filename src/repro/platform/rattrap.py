@@ -62,7 +62,9 @@ class RattrapPlatform(CloudPlatform):
         self.name = "rattrap" if optimized else "rattrap-wo"
         # The warehouse must exist before CloudPlatform wires the
         # dispatcher (warehouse_or_none is consulted in __init__).
-        self.warehouse: Optional[AppWarehouse] = AppWarehouse() if optimized else None
+        self.warehouse: Optional[AppWarehouse] = (
+            AppWarehouse().bind_env(env) if optimized else None
+        )
         super().__init__(env, server=server, dispatch_policy=dispatch_policy)
         self.access = access_controller or RequestAccessController()
         # Extend the host kernel before any container starts.  insmod of

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, List, Optional
 
+from ..obs import metrics_of
 from ..sim.monitor import TimeSeries
 from .container_db import ContainerDB, ContainerRecord
 
@@ -38,6 +39,9 @@ class MonitorScheduler:
         self._active += 1
         self.peak_active = max(self.peak_active, self._active)
         self.active_series.record(self.env.now, self._active)
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.gauge("scheduler.active_requests").set(self._active)
 
     def request_finished(self, cid: str) -> None:
         """A request left the runtime; update load accounting."""
@@ -45,6 +49,9 @@ class MonitorScheduler:
         self.db.get(cid).last_used = self.env.now
         self._active -= 1
         self.active_series.record(self.env.now, self._active)
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.gauge("scheduler.active_requests").set(self._active)
 
     @property
     def active_requests(self) -> int:

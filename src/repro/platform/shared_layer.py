@@ -18,11 +18,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..android.customize import CustomizedOS
+from ..obs import metrics_of
 from ..unionfs import Layer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hostos.server import CloudServer
     from ..hostos.storage import StorageDevice
+    from ..sim.core import Environment
 
 __all__ = ["SharedResourceLayer", "OffloadingIOLayer"]
 
@@ -39,13 +41,24 @@ class OffloadingIOLayer:
     synthetic one, preserving the original exclusive semantics.
     """
 
-    def __init__(self, device: "StorageDevice", name: str = "offload-io"):
+    def __init__(
+        self,
+        device: "StorageDevice",
+        name: str = "offload-io",
+        env: Optional["Environment"] = None,
+    ):
         self.device = device
         self.layer = Layer(name)
+        #: environment whose metrics registry (if enabled) tracks this
+        #: layer — None keeps the layer observability-silent
+        self.env = env
         #: request_key -> (digest, nbytes)
         self._requests: Dict[str, Tuple[str, int]] = {}
         #: digest -> [refcount, nbytes] (one physical copy each)
         self._entries: Dict[str, List[int]] = {}
+        #: physical bytes resident (one copy per distinct digest),
+        #: maintained incrementally so gauges stay O(1)
+        self._resident = 0
         #: logical bytes staged / burned (dedup hits count fully, so
         #: the burn==stage invariant holds per request)
         self.total_staged = 0
@@ -53,6 +66,9 @@ class OffloadingIOLayer:
         #: content-addressed sharing effectiveness
         self.dedup_hits = 0
         self.dedup_bytes_saved = 0
+
+    def _metrics(self):
+        return metrics_of(self.env) if self.env is not None else None
 
     def stage(
         self,
@@ -71,6 +87,7 @@ class OffloadingIOLayer:
         if digest is None:
             digest = f"req:{request_key}"  # private, never shared
         path = f"/offload/{digest}"
+        metrics = self._metrics()
         entry = self._entries.get(digest)
         if entry is not None:
             if entry[1] != nbytes:
@@ -85,13 +102,21 @@ class OffloadingIOLayer:
             self.dedup_bytes_saved += nbytes
             if nbytes:
                 self.layer.link(path)
+            if metrics is not None:
+                metrics.counter("io.staged_bytes").inc(nbytes)
+                metrics.counter("io.dedup_hits").inc()
+                metrics.counter("io.dedup_bytes_saved").inc(nbytes)
             return False
         self.device.allocate(nbytes)
         self._entries[digest] = [1, nbytes]
         self._requests[request_key] = (digest, nbytes)
+        self._resident += nbytes
         if nbytes:
             self.layer.add_file(path, nbytes, category="offload_data", mtime=now)
         self.total_staged += nbytes
+        if metrics is not None:
+            metrics.counter("io.staged_bytes").inc(nbytes)
+            metrics.gauge("io.resident_bytes").set(self._resident)
         return True
 
     def burn(self, request_key: str) -> int:
@@ -105,10 +130,16 @@ class OffloadingIOLayer:
         entry[0] -= 1
         if nbytes:
             self.layer.unlink(f"/offload/{digest}")
+        metrics = self._metrics()
         if entry[0] == 0:
             del self._entries[digest]
             self.device.deallocate(nbytes)
+            self._resident -= nbytes
+            if metrics is not None:
+                metrics.gauge("io.resident_bytes").set(self._resident)
         self.total_burned += nbytes
+        if metrics is not None:
+            metrics.counter("io.burned_bytes").inc(nbytes)
         return nbytes
 
     def has_staged(self, request_key: str) -> bool:
@@ -118,7 +149,7 @@ class OffloadingIOLayer:
     @property
     def resident_bytes(self) -> int:
         """Physical bytes resident — one copy per distinct digest."""
-        return sum(entry[1] for entry in self._entries.values())
+        return self._resident
 
     def staged_requests(self) -> list:
         """Request keys currently resident in the layer."""
@@ -135,7 +166,7 @@ class SharedResourceLayer:
         # The shared base is stored once on the server disk.
         server.disk.allocate(self.base_layer.total_bytes)
         self._base_allocated = True
-        self.offload_io = OffloadingIOLayer(server.tmpfs)
+        self.offload_io = OffloadingIOLayer(server.tmpfs, env=server.env)
         #: Android drivers are shared resources too (§IV-C) — exposed
         #: here for observability; the kernel owns the refcounting.
         self.shared_driver_modules = tuple(

@@ -15,7 +15,9 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
+
+from ..obs import metrics_of
 
 __all__ = ["CacheEntry", "AppWarehouse"]
 
@@ -63,6 +65,18 @@ class AppWarehouse:
         self.lookups = 0
         self.misses = 0
         self.evictions = 0
+        #: environment this warehouse reports metrics through (set by
+        #: the owning platform via bind_env; None = no reporting)
+        self._env: Optional[Any] = None
+
+    def bind_env(self, env: Any) -> "AppWarehouse":
+        """Attach the environment whose metrics registry (if any)
+        receives warehouse lookup/store/evict counters."""
+        self._env = env
+        return self
+
+    def _metrics(self):
+        return metrics_of(self._env) if self._env is not None else None
 
     def _touch(self, app_id: str) -> None:
         self._lru[app_id] = None
@@ -76,9 +90,14 @@ class AppWarehouse:
     def lookup(self, app_id: str, operation: str = "offload") -> Optional[CacheEntry]:
         """HIT path of Fig. 8: find preserved code by Reference."""
         self.lookups += 1
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("warehouse.lookups").inc()
         entry = self._by_reference.get(self.reference_for(app_id, operation))
         if entry is None:
             self.misses += 1
+            if metrics is not None:
+                metrics.counter("warehouse.misses").inc()
             return None
         entry.hits += 1
         self._touch(app_id)
@@ -115,6 +134,10 @@ class AppWarehouse:
         self._by_reference[entry.reference] = entry
         self._by_aid[app_id] = entry
         self._touch(app_id)
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("warehouse.stores").inc()
+            metrics.gauge("warehouse.code_bytes").set(self.total_code_bytes())
         return entry
 
     def evict(self, app_id: str) -> None:
@@ -124,6 +147,10 @@ class AppWarehouse:
             raise KeyError(f"no preserved code for {app_id!r}")
         del self._by_reference[entry.reference]
         self._lru.pop(app_id, None)
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter("warehouse.evicted").inc()
+            metrics.gauge("warehouse.code_bytes").set(self.total_code_bytes())
 
     # -- CID mapping (dispatcher affinity) ---------------------------------------------
     def register_execution(self, app_id: str, cid: str) -> None:

@@ -13,6 +13,7 @@ import enum
 from typing import TYPE_CHECKING, Generator, Optional, Set
 
 from ..android.boot import BootSequence
+from ..obs import metrics_of, trace_span
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hostos.server import CloudServer
@@ -125,8 +126,12 @@ class RuntimeEnvironment:
         self.booted_at = self.env.now
         self._acquire_resources()
         self._pre_boot()
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter("runtime.boots").inc()
         try:
-            yield self.env.process(self.boot_sequence.run(self.server))
+            with trace_span(self.env, "boot", who=self.instance_id):
+                yield self.env.process(self.boot_sequence.run(self.server))
         except BaseException:
             if self.state is RuntimeState.BOOTING:
                 self._mark_crashed("boot aborted")
@@ -188,6 +193,9 @@ class RuntimeEnvironment:
         self.state = RuntimeState.CRASHED
         self.crash_reason = reason
         self.stopped_at = self.env.now
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter("runtime.crashes").inc()
 
     def _pre_boot(self) -> None:
         """Subclass hook before the boot sequence runs."""

@@ -51,6 +51,10 @@ class Environment:
     3.0
     """
 
+    #: when set (see :func:`repro.obs.enable_auto`), every new
+    #: environment gets an Observability attached at construction
+    obs_factory: Optional[Callable[["Environment"], Any]] = None
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
@@ -61,6 +65,12 @@ class Environment:
         #: the attached FaultInjector, if any (set by repro.faults);
         #: clients probe it for link blackouts via duck typing
         self.faults: Optional[Any] = None
+        #: the attached Observability (tracer + metrics registry), if
+        #: any — None keeps every instrumentation site on its fast path
+        self.obs: Optional[Any] = None
+        factory = type(self).obs_factory
+        if factory is not None:
+            factory(self)
 
     # -- clock ---------------------------------------------------------------
     @property

@@ -1,0 +1,139 @@
+"""Property-based tests for the FluidChannel fair-share model.
+
+Driven by seeded stdlib ``random`` sequences of flow arrivals,
+cancellations, and idle gaps (no extra dependencies), these check the
+two invariants the analytic fluid model promises:
+
+- **work conservation** — whenever at least one flow is active the
+  medium drains at exactly ``bps`` aggregate, so the bytes delivered
+  over a run equal ``bps`` times the union of busy intervals;
+- **FIFO completion within a size class** — with fair sharing and equal
+  per-flow rates, an earlier arrival of the same size never finishes
+  after a later one.
+"""
+
+import random
+
+import pytest
+
+from repro.network.link import FluidChannel
+from repro.sim import Environment
+
+BPS = 1_000_000.0
+SIZES = (20_000.0, 125_000.0, 400_000.0)
+
+
+class _FlowMeta:
+    def __init__(self, index, size, added_at):
+        self.index = index
+        self.size = size
+        self.added_at = added_at
+        self.done_at = None
+        self.cancelled = False
+        self.drained = None  # filled at cancel time
+
+
+def _drive(seed, ops=60):
+    """Random add/cancel/wait schedule; returns (metas, busy_points).
+
+    ``busy_points`` samples ``(now, active_flows)`` at every moment the
+    flow set changes — arrivals, cancellations, and completions — which
+    is exactly when the fluid model's aggregate rate can change.
+    """
+    rng = random.Random(seed)
+    env = Environment()
+    channel = FluidChannel(env)
+    metas = []
+    active = []  # (flow, meta)
+    points = []
+
+    def mark(now=None):
+        points.append((env.now, channel.active_flows))
+
+    def driver(env):
+        for _ in range(ops):
+            roll = rng.random()
+            if roll < 0.55 or not active:
+                size = rng.choice(SIZES)
+                meta = _FlowMeta(len(metas), size, env.now)
+                metas.append(meta)
+                flow = channel.add(size, BPS)
+                active.append((flow, meta))
+
+                def on_done(_ev, meta=meta):
+                    meta.done_at = env.now
+                    mark()
+
+                flow.done.add_callback(on_done)
+                mark()
+            elif roll < 0.70:
+                flow, meta = active.pop(rng.randrange(len(active)))
+                if meta.done_at is None:
+                    channel.cancel(flow)
+                    meta.cancelled = True
+                    meta.drained = meta.size - flow.remaining
+                    mark()
+            else:
+                yield env.timeout(rng.uniform(0.0, 0.25))
+
+    env.run(until=env.process(driver(env)))
+    env.run()  # let the remaining flows drain
+    return metas, points
+
+
+def _busy_seconds(points):
+    """Length of the union of intervals with >= 1 active flow."""
+    busy = 0.0
+    for (t0, n0), (t1, _n1) in zip(points, points[1:]):
+        if n0 > 0:
+            busy += t1 - t0
+    return busy
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_goodput_conserves_bandwidth(seed):
+    metas, points = _drive(seed)
+    assert metas, "schedule produced no flows"
+    # Every uncancelled flow completed once the heap drained.
+    for meta in metas:
+        if not meta.cancelled:
+            assert meta.done_at is not None, f"flow {meta.index} never finished"
+    drained = sum(
+        meta.drained if meta.cancelled else meta.size for meta in metas
+    )
+    busy = _busy_seconds(points)
+    assert drained == pytest.approx(BPS * busy, rel=1e-6)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fifo_completion_within_size_class(seed):
+    metas, _points = _drive(seed)
+    by_size = {}
+    for meta in metas:
+        if not meta.cancelled:
+            by_size.setdefault(meta.size, []).append(meta)
+    for size, group in by_size.items():
+        group.sort(key=lambda m: m.index)  # arrival order
+        done_times = [m.done_at for m in group]
+        assert done_times == sorted(done_times), (
+            f"size {size}: completions out of arrival order: {done_times}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cancelled_flows_never_exceed_their_size(seed):
+    metas, _points = _drive(seed)
+    for meta in metas:
+        if meta.cancelled:
+            assert -1e-9 <= meta.drained <= meta.size + 1e-9
+
+
+def test_equal_flows_share_fairly():
+    """n identical flows started together all finish at n * size / bps."""
+    env = Environment()
+    channel = FluidChannel(env)
+    flows = [channel.add(100_000.0, BPS) for _ in range(4)]
+    env.run()
+    assert env.now == pytest.approx(4 * 100_000.0 / BPS)
+    assert all(f.done.triggered for f in flows)
+    assert channel.active_flows == 0

@@ -1,0 +1,123 @@
+"""Invariant tests for the content-addressed OffloadingIOLayer.
+
+Seeded stdlib ``random`` drives arbitrary stage/burn sequences (shared
+digests, private payloads, zero-byte params) against a real tmpfs
+:class:`~repro.hostos.storage.StorageDevice`, asserting the refcount /
+hard-link / capacity invariants after *every* operation:
+
+- every live entry's refcount is >= 1;
+- for entries with bytes, the unionfs nlink equals the refcount;
+- ``resident_bytes`` equals one copy per distinct digest and matches
+  the device's allocation delta exactly;
+- at quiescence (everything burned) bytes-freed == bytes-staged and
+  the device is back to its baseline.
+"""
+
+import random
+
+import pytest
+
+from repro.hostos.storage import StorageDevice
+from repro.platform.shared_layer import OffloadingIOLayer
+from repro.sim import Environment
+
+DIGEST_POOL = ("virus-db", "ocr-model", "chess-book")
+SIZE_POOL = (0, 4_096, 65_536, 1_048_576)
+
+
+def _make_layer():
+    env = Environment()
+    device = StorageDevice(env, "tmpfs", 2000.0, 1500.0, 10e-6)
+    device.allocate(12_345)  # pre-existing tenant data (the baseline)
+    return OffloadingIOLayer(device, env=env), device, 12_345
+
+
+def _check_invariants(layer, device, baseline):
+    expected_resident = 0
+    for digest, (refcount, nbytes) in layer._entries.items():
+        assert refcount >= 1, f"{digest}: refcount {refcount}"
+        expected_resident += nbytes
+        if nbytes:
+            assert layer.layer.nlink(f"/offload/{digest}") == refcount
+    assert layer.resident_bytes == expected_resident
+    assert device.bytes_stored == baseline + expected_resident
+    # Logical staging is conserved: what is in flight is exactly the
+    # difference between everything staged and everything burned.
+    in_flight = sum(nbytes for _digest, nbytes in layer._requests.values())
+    assert layer.total_staged - layer.total_burned == in_flight
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_stage_burn_sequences(seed):
+    rng = random.Random(seed)
+    layer, device, baseline = _make_layer()
+    staged = []  # request keys currently resident
+    next_key = 0
+
+    for _step in range(200):
+        if staged and rng.random() < 0.45:
+            key = staged.pop(rng.randrange(len(staged)))
+            digest, nbytes = layer._requests[key]
+            freed = layer.burn(key)
+            assert freed == nbytes
+        else:
+            key = f"req-{next_key}"
+            next_key += 1
+            nbytes = rng.choice(SIZE_POOL)
+            digest = rng.choice(DIGEST_POOL + (None,))
+            already_resident = digest is not None and digest in layer._entries
+            if already_resident:
+                # Shared digests must restage with their original size.
+                nbytes = layer._entries[digest][1]
+            fresh = layer.stage(key, nbytes, now=0.0, digest=digest)
+            assert fresh == (not already_resident)
+            staged.append(key)
+        _check_invariants(layer, device, baseline)
+
+    # Quiescence: burn everything that is still staged.
+    for key in staged:
+        layer.burn(key)
+    assert layer.total_burned == layer.total_staged
+    assert layer.resident_bytes == 0
+    assert device.bytes_stored == baseline
+    assert not layer._entries and not layer._requests
+
+
+def test_dedup_shares_one_physical_copy():
+    layer, device, baseline = _make_layer()
+    assert layer.stage("a", 1000, digest="shared") is True
+    assert layer.stage("b", 1000, digest="shared") is False
+    assert layer.resident_bytes == 1000
+    assert layer.dedup_hits == 1
+    assert layer.dedup_bytes_saved == 1000
+    assert layer.layer.nlink("/offload/shared") == 2
+    assert layer.burn("a") == 1000
+    assert layer.resident_bytes == 1000  # b still holds the bytes
+    assert layer.burn("b") == 1000
+    assert layer.resident_bytes == 0
+    assert device.bytes_stored == baseline
+
+
+def test_stage_errors_leave_state_untouched():
+    layer, device, baseline = _make_layer()
+    layer.stage("a", 500, digest="d")
+    with pytest.raises(ValueError):
+        layer.stage("a", 500)  # duplicate request key
+    with pytest.raises(ValueError):
+        layer.stage("b", 501, digest="d")  # size mismatch for a digest
+    with pytest.raises(ValueError):
+        layer.stage("c", -1)
+    with pytest.raises(KeyError):
+        layer.burn("never-staged")
+    _check_invariants(layer, device, baseline)
+    assert layer.staged_requests() == ["a"]
+
+
+def test_zero_byte_payloads_are_tracked_but_allocation_free():
+    layer, device, baseline = _make_layer()
+    assert layer.stage("a", 0) is True
+    assert layer.has_staged("a")
+    assert layer.resident_bytes == 0
+    assert device.bytes_stored == baseline
+    assert layer.burn("a") == 0
+    assert not layer.has_staged("a")

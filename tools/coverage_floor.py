@@ -1,0 +1,99 @@
+"""Measure line coverage of ``repro`` without coverage.py.
+
+CI's coverage job needs a blocking floor (measured coverage minus a
+2-point cushion, see ``.github/workflows/ci.yml``), but the floor must
+be re-measured in environments where ``coverage`` cannot be installed.
+This script runs the test suite under a :func:`sys.settrace` hook that
+records executed lines in ``src/repro`` only, counts each module's
+executable lines from its compiled code objects (``co_lines``), and
+prints the percentage.
+
+Usage::
+
+    PYTHONPATH=src python tools/coverage_floor.py [pytest args...]
+
+Numbers track ``pytest --cov=repro`` closely but not exactly:
+coverage.py honours ``# pragma: no cover`` exclusions and arc-level
+details this tracer does not, so it usually reports a point or two
+*higher* — which keeps a floor derived from this script conservative.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src", "repro"))
+
+hits: dict = {}
+
+
+def _local_trace(frame, event, arg):
+    if event == "line":
+        lines = hits.get(frame.f_code.co_filename)
+        if lines is None:
+            lines = hits[frame.f_code.co_filename] = set()
+        lines.add(frame.f_lineno)
+    return _local_trace
+
+
+def _global_trace(frame, event, arg):
+    if event == "call" and frame.f_code.co_filename.startswith(ROOT):
+        return _local_trace
+    return None
+
+
+def executable_lines(path: str) -> set:
+    """Line numbers with bytecode, from the compiled module tree."""
+    with open(path, "r") as fh:
+        source = fh.read()
+    lines: set = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        lines.update(l for _, _, l in code.co_lines() if l is not None)
+        stack.extend(c for c in code.co_consts if hasattr(c, "co_lines"))
+    lines.discard(0)
+    return lines
+
+
+def main(argv) -> int:
+    import pytest
+
+    threading.settrace(_global_trace)
+    sys.settrace(_global_trace)
+    try:
+        rc = pytest.main(["-q", "-p", "no:cacheprovider", *argv])
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if rc != 0:
+        print(f"pytest failed (rc={rc}); coverage not meaningful", file=sys.stderr)
+        return rc
+
+    total = covered = 0
+    rows = []
+    for dirpath, _dirnames, filenames in os.walk(ROOT):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            exe = executable_lines(path)
+            hit = hits.get(path, set()) & exe
+            total += len(exe)
+            covered += len(hit)
+            pct = 100.0 * len(hit) / len(exe) if exe else 100.0
+            rows.append((os.path.relpath(path, ROOT), len(exe), len(hit), pct))
+
+    rows.sort(key=lambda r: r[3])
+    print(f"\n{'module':48s} {'lines':>6s} {'hit':>6s} {'pct':>7s}")
+    for name, exe, hit, pct in rows:
+        print(f"{name:48s} {exe:6d} {hit:6d} {pct:6.1f}%")
+    overall = 100.0 * covered / total if total else 100.0
+    print(f"\nTOTAL {covered}/{total} lines = {overall:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
