@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-compare experiments chaos scale
+.PHONY: test bench bench-compare experiments chaos scale predictive
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,8 +12,15 @@ chaos:
 	$(PYTHON) -m repro.experiments.runner chaos
 
 ## Run the opt-in 1k-10k device scale ramp (see docs/PERFORMANCE.md).
+## PREDICTIVE=1 runs the reactive-vs-predictive warm-pool comparison
+## instead of the device ramp.
 scale:
-	$(PYTHON) -m repro.experiments.runner scale
+	$(PYTHON) -m repro.experiments.runner scale $(if $(PREDICTIVE),--predictive)
+
+## Run the opt-in LiveLab-trace predictive-scheduling comparison
+## (see docs/PERFORMANCE.md).
+predictive:
+	$(PYTHON) -m repro.experiments.runner predictive
 
 ## Run every experiment and write BENCH_experiments.json with
 ## per-cell and per-experiment wall-clock (JOBS=N to parallelize).

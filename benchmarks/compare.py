@@ -8,9 +8,11 @@ Usage::
     python benchmarks/compare.py --threshold 0.25   # regression bar
 
 Compares per-experiment wall-clock from ``BENCH_experiments.json``
-(schema v1, written by ``make bench``) against a fresh measurement and
-exits non-zero when any experiment regressed by more than the
-threshold.  Two defenses against flakiness: experiments faster than
+(schema v1 or v2, written by ``make bench``) against a fresh
+measurement and exits non-zero when any experiment regressed by more
+than the threshold.  Schema v2 additionally carries a per-experiment
+cell-wall p99 (``p99_wall_s``); the comparison table shows it as a
+tail-latency column, with a dash for v1 baselines that predate it.  Two defenses against flakiness: experiments faster than
 the noise floor on either side are skipped (interpreter jitter swamps
 a 200 ms measurement), and the fresh suite is measured best-of-N
 (``--repeats``, min wall per experiment) so a background process
@@ -40,16 +42,25 @@ NOISE_FLOOR_S = 0.25
 #: measure the fresh suite this many times and keep the per-experiment min
 DEFAULT_REPEATS = 2
 
-SUPPORTED_SCHEMA = 1
+#: v1 has per-experiment wall only; v2 adds ``p99_wall_s``.  The reader
+#: accepts both so a fresh v2 run still compares against old baselines.
+SUPPORTED_SCHEMAS = (1, 2)
 
 
-def _wall_by_name(payload: Dict[str, Any]) -> Dict[str, float]:
+def _by_name(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     schema = payload.get("schema_version")
-    if schema != SUPPORTED_SCHEMA:
+    if schema not in SUPPORTED_SCHEMAS:
         raise ValueError(
-            f"unsupported bench schema {schema!r} (want {SUPPORTED_SCHEMA})"
+            f"unsupported bench schema {schema!r} (want one of {SUPPORTED_SCHEMAS})"
         )
-    return {e["name"]: float(e["wall_s"]) for e in payload["experiments"]}
+    out: Dict[str, Dict[str, Any]] = {}
+    for e in payload["experiments"]:
+        p99 = e.get("p99_wall_s")  # absent in v1, possibly null in v2
+        out[e["name"]] = {
+            "wall_s": float(e["wall_s"]),
+            "p99_wall_s": None if p99 is None else float(p99),
+        }
+    return out
 
 
 def compare(
@@ -61,20 +72,28 @@ def compare(
     """Compare two bench payloads.
 
     Returns ``(rows, regressions)``: one row per experiment present in
-    both payloads (with ``name``, ``base_s``, ``fresh_s``, ``delta``),
-    and the subset whose slowdown exceeds ``threshold`` with both
-    measurements above the noise floor.
+    both payloads (with ``name``, ``base_s``, ``fresh_s``, ``delta``,
+    plus ``base_p99_s``/``fresh_p99_s`` when the payload schema carries
+    them), and the subset whose slowdown exceeds ``threshold`` with
+    both measurements above the noise floor.
     """
-    base = _wall_by_name(baseline)
-    new = _wall_by_name(fresh)
+    base = _by_name(baseline)
+    new = _by_name(fresh)
     rows: List[dict] = []
     regressions: List[dict] = []
-    for name, base_s in base.items():
+    for name, b in base.items():
         if name not in new:
             continue
-        fresh_s = new[name]
+        base_s, fresh_s = b["wall_s"], new[name]["wall_s"]
         delta = (fresh_s - base_s) / base_s if base_s > 0 else 0.0
-        row = {"name": name, "base_s": base_s, "fresh_s": fresh_s, "delta": delta}
+        row = {
+            "name": name,
+            "base_s": base_s,
+            "fresh_s": fresh_s,
+            "delta": delta,
+            "base_p99_s": b["p99_wall_s"],
+            "fresh_p99_s": new[name]["p99_wall_s"],
+        }
         rows.append(row)
         if delta > threshold and base_s >= floor_s and fresh_s >= floor_s:
             regressions.append(row)
@@ -82,7 +101,7 @@ def compare(
 
 
 def run_fresh_suite(repeats: int = DEFAULT_REPEATS) -> Dict[str, Any]:
-    """Measure the default experiment suite in-process (schema v1).
+    """Measure the default experiment suite in-process (current schema).
 
     Each experiment runs ``repeats`` times and keeps the fastest wall
     time: noise from a loaded machine is strictly additive, so the min
@@ -152,12 +171,20 @@ def main(argv=None) -> int:
         fresh = run_fresh_suite(repeats=args.repeats)
 
     rows, regressions = compare(baseline, fresh, args.threshold, args.floor)
-    print(f"{'experiment':14s} {'base':>8s} {'fresh':>8s} {'delta':>8s}")
+    print(
+        f"{'experiment':14s} {'base':>8s} {'fresh':>8s} {'delta':>8s} "
+        f"{'b.p99':>8s} {'f.p99':>8s}"
+    )
+
+    def p99(value) -> str:
+        return "-" if value is None else f"{value:.2f}s"
+
     for row in rows:
         flag = "  <-- REGRESSION" if row in regressions else ""
         print(
             f"{row['name']:14s} {row['base_s']:7.2f}s {row['fresh_s']:7.2f}s "
-            f"{100 * row['delta']:+7.1f}%{flag}"
+            f"{100 * row['delta']:+7.1f}% {p99(row['base_p99_s']):>8s} "
+            f"{p99(row['fresh_p99_s']):>8s}{flag}"
         )
     total_base = sum(r["base_s"] for r in rows)
     total_fresh = sum(r["fresh_s"] for r in rows)

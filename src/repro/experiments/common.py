@@ -76,13 +76,26 @@ def run_workload_experiment(
     seed: int = 1,
     mode: str = "closed",
     with_energy: bool = False,
+    with_tracing: bool = False,
 ) -> ExperimentRun:
     """Run the standard 5-device closed-loop experiment on one platform.
 
     The inflow is identical across platforms for a given seed — the
-    paper's "same inflow of requests" discipline.
+    paper's "same inflow of requests" discipline.  ``with_tracing``
+    guarantees a span tracer on the environment (reusing an
+    auto-attached Observability when ``--trace``/``--metrics`` is on),
+    for experiments that derive their tables from spans.
     """
     env = Environment()
+    if with_tracing:
+        from ..obs import Observability, Tracer
+
+        if env.obs is None:
+            Observability(env, tracing=True, metrics=False)
+        elif env.obs.tracer is None:
+            # Auto-attached with metrics only: graft a tracer onto the
+            # same instance so the runner's drain order is unchanged.
+            env.obs.tracer = Tracer(env)
     platform = build_platform(env, platform_name)
     plans = generate_inflow(
         profile, devices=devices, requests_per_device=requests_per_device, seed=seed

@@ -19,6 +19,12 @@ If a process pool cannot be created (no ``fork``/``spawn`` support,
 sandboxed interpreter, unpicklable cell) the engine silently falls
 back to the in-process serial path — same results, no parallelism.
 
+Observability composes with parallelism: when process-wide auto-attach
+is on (``--trace``/``--metrics``), each worker re-enables identical
+capture around its cell, pickles the resulting snapshots back, and
+:func:`run_cells` absorbs them in cell order — so a ``--jobs N`` run
+drains byte-identical observability JSON to the serial run.
+
 Per-cell wall-clock is measured inside the worker and surfaced through
 :func:`collect_timings`, which :mod:`repro.experiments.runner` uses to
 write the ``BENCH_experiments.json`` trajectory artifact.
@@ -43,7 +49,8 @@ __all__ = [
 ]
 
 #: bump when the BENCH_experiments.json layout changes incompatibly
-BENCH_SCHEMA_VERSION = 1
+#: (v2 adds per-experiment ``p99_wall_s`` over the cell wall-clocks)
+BENCH_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -105,6 +112,32 @@ def _execute_cell(fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> Tuple[An
     return value, time.perf_counter() - t0
 
 
+def _execute_cell_observed(
+    fn: Callable[..., Any],
+    kwargs: Mapping[str, Any],
+    tracing: bool,
+    metrics: bool,
+) -> Tuple[Any, float, List[Dict[str, Any]]]:
+    """Worker entry point when process-wide observability is on.
+
+    Re-enables the parent's auto-attach flags inside the worker, runs
+    the cell, and ships the drained snapshots back as plain dicts (the
+    live Observability objects hold an Environment and never pickle).
+    """
+    from .. import obs as obs_mod
+
+    obs_mod.disable_auto()  # fork may have inherited parent auto state
+    obs_mod.enable_auto(tracing=tracing, metrics=metrics)
+    try:
+        t0 = time.perf_counter()
+        value = fn(**dict(kwargs))
+        wall = time.perf_counter() - t0
+        snaps = obs_mod.drain()
+    finally:
+        obs_mod.disable_auto()
+    return value, wall, snaps
+
+
 def _run_serial(cells: Sequence[Cell]) -> List[Tuple[Any, float]]:
     return [_execute_cell(cell.fn, cell.kwargs) for cell in cells]
 
@@ -112,11 +145,32 @@ def _run_serial(cells: Sequence[Cell]) -> List[Tuple[Any, float]]:
 def _run_pool(cells: Sequence[Cell], workers: int) -> List[Tuple[Any, float]]:
     from concurrent.futures import ProcessPoolExecutor
 
+    from .. import obs as obs_mod
+
+    flags = obs_mod.auto_flags()
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_execute_cell, cell.fn, dict(cell.kwargs)) for cell in cells]
-        # Collect in submission order — determinism does not depend on
-        # completion order.
-        return [f.result() for f in futures]
+        if flags is None:
+            futures = [
+                pool.submit(_execute_cell, cell.fn, dict(cell.kwargs))
+                for cell in cells
+            ]
+            # Collect in submission order — determinism does not depend
+            # on completion order.
+            return [f.result() for f in futures]
+        tracing, metrics = flags
+        futures = [
+            pool.submit(_execute_cell_observed, cell.fn, dict(cell.kwargs), tracing, metrics)
+            for cell in cells
+        ]
+        # Resolve every future BEFORE absorbing any snapshots: if one
+        # raises, run_cells falls back to the serial path, and half-
+        # absorbed snapshots would then be drained twice.
+        outcomes = [f.result() for f in futures]
+        results: List[Tuple[Any, float]] = []
+        for value, wall, snaps in outcomes:
+            obs_mod.absorb(snaps)  # cell submission order == serial order
+            results.append((value, wall))
+        return results
 
 
 def run_cells(cells: Sequence[Cell], jobs: Optional[int] = 0) -> List[Any]:
@@ -157,9 +211,12 @@ def benchmark_payload(
     """Assemble the ``BENCH_experiments.json`` document.
 
     ``experiments`` rows carry ``name``, ``wall_s`` and a ``cells``
-    list of ``{"key": [...], "wall_s": ...}`` entries.  The schema is
-    covered by a tier-1 smoke test so downstream tooling can trend
-    wall-clock across PRs.
+    list of ``{"key": [...], "wall_s": ...}`` entries.  Schema v2 adds
+    ``p99_wall_s`` — the nearest-rank p99 over the experiment's cell
+    wall-clocks (``null`` when no cells were timed), the tail signal
+    the comparator trends across PRs.  The schema is covered by a
+    tier-1 smoke test so downstream tooling can trend wall-clock
+    across PRs.
     """
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -170,6 +227,7 @@ def benchmark_payload(
             {
                 "name": row["name"],
                 "wall_s": row["wall_s"],
+                "p99_wall_s": _p99([t.wall_s for t in row.get("timings", ())]),
                 "cells": [
                     {"key": list(t.key), "wall_s": t.wall_s}
                     for t in row.get("timings", ())
@@ -178,3 +236,12 @@ def benchmark_payload(
             for row in experiments
         ],
     }
+
+
+def _p99(walls: Sequence[float]) -> Optional[float]:
+    """Nearest-rank p99 of the cell wall-clocks; None without cells."""
+    if not walls:
+        return None
+    ordered = sorted(walls)
+    rank = max(1, -(-len(ordered) * 99 // 100))  # ceil without floats
+    return ordered[rank - 1]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from ..analysis import per_request_phase_table, render_table
+from ..analysis import render_table
 from ..workloads import get_profile
 from .common import run_workload_experiment, workload_platform_cells
 from .engine import Cell, run_cells
@@ -23,11 +23,41 @@ __all__ = ["run", "report", "cells", "merge"]
 def phase_table_cell(
     platform: str, profile: str, scenario: str = "lan-wifi", seed: int = 1
 ) -> List[dict]:
-    """One device's request-by-request phase decomposition."""
+    """One device's request-by-request phase decomposition.
+
+    Derived from the trace spans (``Tracer.phases_by_trace``), not the
+    per-result ``PhaseTimeline``: the serve path opens each phase span
+    at the same clock reads its timeline accounting uses, so the rows
+    are float-identical and the observability plane is exercised as a
+    first-class data source.
+    """
     exp = run_workload_experiment(
-        platform, get_profile(profile), scenario=scenario, seed=seed
+        platform, get_profile(profile), scenario=scenario, seed=seed,
+        with_tracing=True,
     )
-    return per_request_phase_table(exp.results, "device-0")
+    phases = exp.env.obs.tracer.phases_by_trace()
+    mine = sorted(
+        (
+            r
+            for r in exp.results
+            if r.request.device_id == "device-0" and not r.blocked
+        ),
+        key=lambda r: r.request.seq_on_device,
+    )
+    rows = []
+    for r in mine:
+        spans = phases.get(r.request.trace_id, {})
+        rows.append(
+            {
+                "request": r.request.seq_on_device,
+                "computation_execution": spans.get("execute", 0.0),
+                "runtime_preparation": spans.get("prepare", 0.0),
+                "network_connection": spans.get("connect", 0.0),
+                "data_transfer": spans.get("upload", 0.0) + spans.get("collect", 0.0),
+                "speedup": r.speedup,
+            }
+        )
+    return rows
 
 
 def cells(seed: int = 1) -> List[Cell]:

@@ -35,6 +35,7 @@ from . import (
     fig9_performance,
     fig10_power,
     fig11_trace_cdf,
+    predictive,
     scale,
     scorecard,
     section3e_redundancy,
@@ -78,6 +79,7 @@ EXPERIMENTS: Dict[str, Tuple[object, str]] = {
 EXTRA_EXPERIMENTS: Dict[str, Tuple[object, str]] = {
     "chaos": (chaos, "extension: recovery under injected faults"),
     "scale": (scale, "extension: 1k-10k device scale-out ramp"),
+    "predictive": (predictive, "extension: predictive warm-pool vs reactive"),
 }
 
 
@@ -86,13 +88,17 @@ def _registry() -> Dict[str, Tuple[object, str]]:
     return {**EXPERIMENTS, **EXTRA_EXPERIMENTS}
 
 
-def run_experiment(name: str, jobs: int = 0) -> str:
+def run_experiment(name: str, jobs: int = 0, predictive: bool = False) -> str:
     """Run one experiment and return its report text.
 
     ``jobs`` is forwarded to the experiment's cell engine: ``0``/``1``
     runs serially, ``N`` fans the cells over up to N processes.  The
-    report text is identical either way.
+    report text is identical either way.  ``predictive`` is forwarded
+    only to experiments whose ``run`` accepts it (the warm-pool
+    comparison modes); others ignore the flag.
     """
+    import inspect
+
     registry = _registry()
     try:
         module, _ = registry[name]
@@ -100,7 +106,10 @@ def run_experiment(name: str, jobs: int = 0) -> str:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(registry)}"
         ) from None
-    return module.report(module.run(jobs=jobs))
+    kwargs = {"jobs": jobs}
+    if predictive and "predictive" in inspect.signature(module.run).parameters:
+        kwargs["predictive"] = True
+    return module.report(module.run(**kwargs))
 
 
 def profile_experiment(name: str, top: int = 20) -> str:
@@ -235,6 +244,13 @@ def main(argv=None) -> int:
         "and dump snapshots per experiment (see --obs-dir)",
     )
     parser.add_argument(
+        "--predictive",
+        action="store_true",
+        help="enable predictive warm-pool scheduling in experiments that "
+        "support it (currently: scale) and report the reactive-vs-"
+        "predictive comparison",
+    )
+    parser.add_argument(
         "--obs-dir",
         metavar="DIR",
         default="obs",
@@ -275,14 +291,9 @@ def main(argv=None) -> int:
     if obs_enabled:
         from .. import obs as obs_mod
 
-        if args.jobs > 1:
-            # Worker-process environments are invisible to this process;
-            # observability capture needs the cells to run in-process.
-            print(
-                "[obs] --trace/--metrics run the cells serially "
-                f"(ignoring --jobs {args.jobs})"
-            )
-            args.jobs = 0
+        # Parallel cells capture too: pool workers re-enable the same
+        # flags, pickle their snapshots back, and the engine absorbs
+        # them in cell order — the dumps match the serial run.
         obs_mod.enable_auto(tracing=args.trace, metrics=args.metrics)
 
     bench_rows = []
@@ -291,7 +302,7 @@ def main(argv=None) -> int:
         for name in names:
             t0 = time.perf_counter()
             with collect_timings() as timings:
-                text = run_experiment(name, jobs=args.jobs)
+                text = run_experiment(name, jobs=args.jobs, predictive=args.predictive)
             elapsed = time.perf_counter() - t0
             bench_rows.append({"name": name, "wall_s": elapsed, "timings": list(timings)})
             print(f"\n{'#' * 72}\n# {name}: {registry[name][1]}  ({elapsed:.1f}s)\n{'#' * 72}")

@@ -24,7 +24,7 @@ future environment with :func:`enable_auto` — which is what the
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..sim.core import Environment
 from .metrics import (
@@ -52,6 +52,8 @@ __all__ = [
     "metrics_of",
     "enable_auto",
     "disable_auto",
+    "auto_flags",
+    "absorb",
     "drain",
 ]
 
@@ -109,8 +111,13 @@ def metrics_of(env: Environment) -> Optional[MetricsRegistry]:
 
 # -- process-wide auto attachment (runner --trace/--metrics) ------------------
 
-#: Observability instances auto-created since the last drain()
-_auto_created: List[Observability] = []
+#: Observability instances (or already-taken snapshot dicts absorbed
+#: from worker processes) accumulated since the last drain()
+_auto_created: List[Any] = []
+
+#: (tracing, metrics) while auto-attach is on, else None — lets the
+#: experiment engine re-enable identical capture inside pool workers
+_auto_flags: Optional[Tuple[bool, bool]] = None
 
 
 def enable_auto(tracing: bool = True, metrics: bool = True) -> None:
@@ -120,23 +127,44 @@ def enable_auto(tracing: bool = True, metrics: bool = True) -> None:
     collects their snapshots — which is how the experiment runner dumps
     per-experiment observability JSON without the experiments knowing.
     """
+    global _auto_flags
 
     def factory(env: Environment) -> Observability:
         obs = Observability(env, tracing=tracing, metrics=metrics)
         _auto_created.append(obs)
         return obs
 
+    _auto_flags = (tracing, metrics)
     Environment.obs_factory = factory
 
 
 def disable_auto() -> None:
     """Stop auto-attaching; already-created instances keep collecting."""
+    global _auto_flags
+    _auto_flags = None
     Environment.obs_factory = None
     _auto_created.clear()
 
 
+def auto_flags() -> Optional[Tuple[bool, bool]]:
+    """``(tracing, metrics)`` while auto-attach is on, else ``None``."""
+    return _auto_flags
+
+
+def absorb(snapshots: List[Dict[str, Any]]) -> None:
+    """Merge snapshots taken in another process (engine pool workers).
+
+    The dicts join the auto-created list in call order, so a parallel
+    run's :func:`drain` output is identical to the serial run's —
+    environments appear in cell submission order either way.
+    """
+    _auto_created.extend(snapshots)
+
+
 def drain() -> List[Dict[str, Any]]:
     """Snapshots of every auto-created Observability, then forget them."""
-    snaps = [obs.snapshot() for obs in _auto_created]
+    snaps = [
+        obs if isinstance(obs, dict) else obs.snapshot() for obs in _auto_created
+    ]
     _auto_created.clear()
     return snaps

@@ -124,6 +124,24 @@ class Tracer:
             row["total_s"] += span.duration
         return {kind: agg[kind] for kind in sorted(agg)}
 
+    def phases_by_trace(self) -> Dict[str, Dict[str, float]]:
+        """Per-trace summed duration of each serve-phase kind.
+
+        Keys appear in first-span order; only closed :data:`PHASE_KINDS`
+        spans carrying a trace id contribute.  Because the serve path
+        opens each phase span at the same clock read its
+        ``PhaseTimeline`` accounting uses, the per-trace sums here
+        reconcile float-exactly with the request's timeline — which is
+        what lets experiments derive phase tables from spans alone.
+        """
+        agg: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            if span.open or span.kind not in PHASE_KINDS or not span.trace:
+                continue
+            row = agg.setdefault(span.trace, {})
+            row[span.kind] = row.get(span.kind, 0.0) + span.duration
+        return agg
+
     def phase_total_s(self) -> float:
         """Seconds covered by the serve-phase spans (:data:`PHASE_KINDS`)."""
         agg = self.by_kind()

@@ -22,7 +22,12 @@ from .registry import (
     SLACKER_STARTUP_FRACTION,
     cac_image,
 )
-from .scheduler import MonitorScheduler
+from .scheduler import (
+    ArrivalRateEWMA,
+    MonitorScheduler,
+    PredictiveConfig,
+    WarmPoolPredictor,
+)
 from .shared_layer import OffloadingIOLayer, SharedResourceLayer
 from .vmcloud import VMCloudPlatform
 from .warehouse import AppWarehouse, CacheEntry
@@ -49,6 +54,9 @@ __all__ = [
     "ContainerDB",
     "ContainerRecord",
     "MonitorScheduler",
+    "ArrivalRateEWMA",
+    "PredictiveConfig",
+    "WarmPoolPredictor",
     "AppWarehouse",
     "CacheEntry",
     "SharedResourceLayer",

@@ -23,7 +23,7 @@ from ..runtime.base import RuntimeEnvironment, RuntimeState
 from .access import AccessDecision
 from .container_db import ContainerDB, ContainerRecord
 from .dispatcher import Dispatcher
-from .scheduler import MonitorScheduler
+from .scheduler import MonitorScheduler, PredictiveConfig, WarmPoolPredictor
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment
@@ -71,6 +71,8 @@ class CloudPlatform:
         #: offloading frameworks hold their sockets open).
         self.keepalive_s: float = 0.0
         self._last_contact: Dict[str, float] = {}
+        #: predictive warm-pool scheduling (None = reactive, zero cost)
+        self.predictor: Optional[WarmPoolPredictor] = None
 
     # ------------------------------------------------------------------ hooks
     def make_runtime(self, cid: str, request: OffloadRequest) -> RuntimeEnvironment:
@@ -87,6 +89,50 @@ class CloudPlatform:
         if self.offline:
             raise NodeDown(self.name, "refusing boot while offline")
         return self.make_runtime(cid, request)
+
+    def make_pool_runtime(self, cid: str, app_id: str) -> RuntimeEnvironment:
+        """Create (not boot) a warm-pool spare — no request exists yet.
+
+        Predictive platforms must override this; the spare boots ahead
+        of demand and loads the app's code on its first dispatch.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support warm-pool pre-boot"
+        )
+
+    def _make_pool_runtime_guarded(self, cid: str, app_id: str) -> RuntimeEnvironment:
+        """Pool-factory entry point: refuse pre-boots while offline."""
+        if self.offline:
+            raise NodeDown(self.name, "refusing pre-boot while offline")
+        return self.make_pool_runtime(cid, app_id)
+
+    # -------------------------------------------------- predictive scheduling
+    def enable_predictive(
+        self, config: Optional[PredictiveConfig] = None
+    ) -> WarmPoolPredictor:
+        """Attach a warm-pool predictor (observability-driven dispatch).
+
+        Requires app-affinity dispatch: spares are pooled per app, not
+        per device.  The returned predictor does nothing until its tick
+        loop runs — :meth:`start_predictor` — and never pre-boots
+        without a metrics registry on the environment.
+        """
+        if self.dispatcher.policy != "app-affinity":
+            raise ValueError(
+                "predictive warm pools require app-affinity dispatch, "
+                f"not {self.dispatcher.policy!r}"
+            )
+        self.predictor = WarmPoolPredictor(self, config)
+        self.dispatcher._pool_factory = self._make_pool_runtime_guarded
+        if self.predictor.cfg.tail_aware:
+            self.scheduler.tail_ranking = True
+        return self.predictor
+
+    def start_predictor(self) -> "Process":
+        """Spawn the predictor's background tick loop."""
+        if self.predictor is None:
+            raise RuntimeError("call enable_predictive() first")
+        return self.env.process(self.predictor.run(self.env))
 
     def on_request_failed(self, request: OffloadRequest, exc: BaseException) -> None:
         """An in-flight request died (fault injection, interruption).
@@ -167,6 +213,8 @@ class CloudPlatform:
         env = self.env
         if self.offline:
             raise NodeDown(self.name, "node offline")
+        if self.predictor is not None:
+            self.predictor.observe_arrival(request)
         timeline = PhaseTimeline()
         started = env.now
 
@@ -270,6 +318,8 @@ class CloudPlatform:
             if cache_hit:
                 metrics.counter("platform.code_cache_hits").inc()
             metrics.histogram("platform.response_s").observe(env.now - started)
+        if self.predictor is not None and self.predictor.cfg.tail_aware:
+            self.scheduler.note_response(record.cid, env.now - started, metrics)
         result = RequestResult(
             request=request,
             timeline=timeline,
@@ -424,6 +474,11 @@ class CloudPlatform:
             raise ValueError("idle_timeout_s must be positive")
         now = self.env.now
         reaped: List[str] = []
+        # The predictor's warm pool is exempt: reaping a spare it wants
+        # hot would just trigger a re-pre-boot one tick later.
+        protected = (
+            self.predictor.protected_cids() if self.predictor is not None else None
+        )
         # Cheap comparisons (activity, idle age) run before the runtime
         # state check — the reaper scans every record on each tick.
         for record in self.db._records.values():
@@ -431,6 +486,7 @@ class CloudPlatform:
                 record.active_requests == 0
                 and now - max(record.last_used, record.created_at) > idle_timeout_s
                 and record.runtime.is_ready
+                and (protected is None or record.cid not in protected)
             ):
                 record.runtime.stop()
                 reaped.append(record.cid)

@@ -220,6 +220,20 @@ class ClusterPlatform:
             for node in self.nodes
         ]
 
+    # -- predictive scheduling ----------------------------------------------------
+    def enable_predictive(self, config=None) -> list:
+        """Attach one warm-pool predictor per node (pool is per-node).
+
+        Failover awareness comes for free: a dark node's predictor
+        skips its ticks, while the rehashed traffic raises arrival-rate
+        EWMAs on the surviving nodes — their pools grow to absorb it.
+        """
+        return [node.enable_predictive(config) for node in self.nodes]
+
+    def start_predictors(self) -> list:
+        """Start every node's predictor tick loop; returns processes."""
+        return [node.start_predictor() for node in self.nodes]
+
     def node_loads(self) -> List[int]:
         """Requests served per node *through this cluster* (distribution
         check).  Counted by the collect wrapper, so it matches

@@ -12,11 +12,22 @@ Two policies are provided:
   5 devices, 5 VMs/containers);
 - ``app-affinity`` — route to any warm, least-loaded runtime holding
   the app's code; boot a new runtime only when none exists.
+
+With a predictive platform (``CloudPlatform.enable_predictive``) the
+dispatcher additionally keeps a **warm pool** of pre-booted spares per
+app: :meth:`preboot` boots one ahead of demand, requests grab a spare
+without any boot wait, and a cold wave that lands mid-pre-boot rides
+the in-flight boot instead of starting its own.  Requests that do end
+up waiting on a shared boot wake **FIFO by request id** — each waiter
+parks on its own proxy event and the settle callback triggers them in
+sorted order, so recovery tables are stable across seeds.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional
+from bisect import insort
+from operator import itemgetter
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..obs import metrics_of, trace_span
 from ..offload.request import OffloadRequest
@@ -32,6 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Dispatcher"]
 
 RuntimeFactory = Callable[[str, OffloadRequest], RuntimeEnvironment]
+#: pool-runtime factory: (cid, app_id) — no request exists yet
+PoolRuntimeFactory = Callable[[str, str], RuntimeEnvironment]
 
 
 class Dispatcher:
@@ -64,8 +77,24 @@ class Dispatcher:
         #: request that waited on another's boot resolve the runtime even
         #: before its app code is loaded there
         self._boot_records: Dict[str, ContainerRecord] = {}
+        #: requests parked on a shared boot: boot process -> sorted
+        #: [(request_id, proxy event)] — woken FIFO by request id
+        self._waiters: Dict["Event", List[Tuple[int, "Event"]]] = {}
+        #: warm-pool state (predictive platforms only; empty otherwise)
+        self._pool_factory: Optional[PoolRuntimeFactory] = None
+        self._pool: Dict[str, List[ContainerRecord]] = {}
+        self._pool_boots: Dict[str, List[Tuple["Event", ContainerRecord]]] = {}
+        #: allocation keys that have ever had a ready runtime — a boot
+        #: stall behind such a key was warm-capable (better scheduling
+        #: could have kept a runtime hot)
+        self._ever_warm: Set[str] = set()
         self.cold_boots = 0
         self.warm_dispatches = 0
+        self.preboots = 0
+        self.preboot_hits = 0
+        self.pool_drained = 0
+        self.boot_stalls = 0
+        self.warmable_stalls = 0
 
     # -- allocation keys ---------------------------------------------------------
     def allocation_key(self, request: OffloadRequest) -> str:
@@ -99,35 +128,96 @@ class Dispatcher:
             self._count_warm()
             yield self.env.timeout(self.warm_dispatch_s)
             return record
+        if self._pool_factory is not None:
+            record = self._pool_take(request.app_id)
+            if record is not None:
+                self._count_warm()
+                yield self.env.timeout(self.warm_dispatch_s)
+                return record
         boot_event = self._boots.get(key)
         if boot_event is not None:
             # Another request already triggered this runtime's boot.
             booting = self._boot_records.get(key)
-            try:
-                yield boot_event
-            except BaseException as exc:
-                if (
-                    boot_event.triggered
-                    and boot_event.exception is exc
-                    and booting is not None
-                    and booting.runtime.state is RuntimeState.CRASHED
-                ):
-                    # The shared boot died under an injected fault; the
-                    # dead record was already evicted — start over (a
-                    # fresh boot, or a runtime that survived elsewhere).
-                    return (yield from self._acquire(request))
-                raise
+            recovered = yield from self._join_boot(boot_event, booting, request, key)
+            if recovered is not None:
+                return recovered
             record = self._record_for_key(key)
             if record is None:
                 record = self._boot_records[key]
             return record
+        if self._pool_factory is not None:
+            rideable = self._rideable_preboot(request.app_id)
+            if rideable is not None:
+                # A pre-boot for this app is mid-flight: ride it rather
+                # than racing it with another cold boot.
+                boot_event, booting = rideable
+                recovered = yield from self._join_boot(boot_event, booting, request, key)
+                if recovered is not None:
+                    return recovered
+                record = self._record_for_key(key)
+                if record is None and booting.runtime.is_ready:
+                    record = self._pool_claim(request.app_id, booting)
+                if record is None:
+                    # The spare died between settle and wake; start over.
+                    return (yield from self._acquire(request))
+                return record
         return (yield from self._cold_boot(key, request))
+
+    def _join_boot(
+        self,
+        boot_event: "Event",
+        booting: Optional[ContainerRecord],
+        request: OffloadRequest,
+        key: str,
+    ) -> Generator:
+        """Park on a shared boot until it settles (FIFO by request id).
+
+        Each waiter gets a proxy event; :meth:`_wake_waiters` triggers
+        the proxies in request-id order once the boot's bookkeeping has
+        settled, so same-tick waiters resume deterministically.  Returns
+        ``None`` on a clean wake (the caller resolves the record), or
+        the record re-acquired after the shared boot crashed.
+        """
+        self._count_stall(key)
+        proxy = self.env.event()
+        insort(
+            self._waiters.setdefault(boot_event, []),
+            (request.request_id, proxy),
+            key=itemgetter(0),
+        )
+        try:
+            yield proxy
+        except BaseException as exc:
+            if (
+                proxy.triggered
+                and proxy.exception is exc
+                and booting is not None
+                and booting.runtime.state is RuntimeState.CRASHED
+            ):
+                # The shared boot died under an injected fault; the
+                # dead record was already evicted — start over (a
+                # fresh boot, or a runtime that survived elsewhere).
+                return (yield from self._acquire(request))
+            raise
+        return None
 
     def _count_warm(self) -> None:
         self.warm_dispatches += 1
         metrics = metrics_of(self.env)
         if metrics is not None:
             metrics.counter("dispatch.warm_dispatches").inc()
+
+    def _count_stall(self, key: str) -> None:
+        """A request is about to wait out a boot (initiator or waiter)."""
+        self.boot_stalls += 1
+        warmable = key in self._ever_warm
+        if warmable:
+            self.warmable_stalls += 1
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter("dispatch.boot_stalls").inc()
+            if warmable:
+                metrics.counter("dispatch.boot_stalls_warmable").inc()
 
     def _record_for_key(self, key: str) -> Optional[ContainerRecord]:
         if key.startswith("app:"):
@@ -150,6 +240,7 @@ class Dispatcher:
 
     def _cold_boot(self, key: str, request: OffloadRequest) -> Generator:
         self.cold_boots += 1
+        self._count_stall(key)
         cid = self.db.new_cid()
         runtime = self.runtime_factory(cid, request)
         owner = request.device_id if self.policy == "per-device" else ""
@@ -188,6 +279,8 @@ class Dispatcher:
             if metrics is not None:
                 metrics.gauge("dispatch.pending_boots").set(len(self._boots))
         if boot.exception is None:
+            self._ever_warm.add(key)
+            self._wake_waiters(boot)
             return
         # Failed boot: evict the dead record so nothing dispatches to it
         # and the DB's memory/disk accounting stays honest.
@@ -199,10 +292,167 @@ class Dispatcher:
             # unwatched boot failure crash the kernel while the waiters
             # that will handle it are still queued to resume.
             boot.defused = True
+        self._wake_waiters(boot)
+
+    def _wake_waiters(self, boot: "Event") -> None:
+        """Trigger the boot's parked proxies in request-id order."""
+        waiters = self._waiters.pop(boot, None)
+        if not waiters:
+            return
+        exc = boot.exception
+        for _rid, proxy in waiters:
+            if exc is None:
+                proxy.succeed()
+            else:
+                # Each proxy has exactly one (live or detached) waiter;
+                # pre-defuse so an interrupted waiter's orphaned proxy
+                # cannot crash the kernel.
+                proxy.defused = True
+                proxy.fail(exc)
 
     def boot_process_for(self, record: ContainerRecord) -> Optional["Event"]:
         """The in-flight boot process of a BOOTING record, if tracked."""
         for key, rec in self._boot_records.items():
             if rec is record:
                 return self._boots.get(key)
+        for entries in self._pool_boots.values():
+            for boot, rec in entries:
+                if rec is record:
+                    return boot
         return None
+
+    # -- warm pool (predictive platforms) -----------------------------------------
+    def preboot(self, app_id: str) -> Optional[ContainerRecord]:
+        """Boot one warm spare for ``app_id`` ahead of demand.
+
+        Returns the registered record, or ``None`` when no spare can be
+        created (no pool factory, node offline, resources exhausted).
+        The boot runs under a ``preboot`` span; requests arriving before
+        it settles ride it instead of cold-booting.
+        """
+        if self._pool_factory is None:
+            return None
+        cid = self.db.new_cid()
+        try:
+            runtime = self._pool_factory(cid, app_id)
+        except Exception:
+            return None
+        runtime.prewarmed = True
+        record = self.db.register(runtime, now=self.env.now)
+        boot = self.env.process(self._preboot_proc(runtime))
+        # A spare nobody ever waits on must not crash the kernel if its
+        # boot dies (node outage mid-pre-boot).
+        boot.defused = True
+        self._pool_boots.setdefault(app_id, []).append((boot, record))
+        self.preboots += 1
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter("sched.preboots").inc()
+            metrics.gauge("sched.pool_size").set(self._total_pool())
+        boot.add_callback(lambda ev: self._preboot_settled(app_id, record, boot))
+        return record
+
+    def _preboot_proc(self, runtime: RuntimeEnvironment) -> Generator:
+        with trace_span(self.env, "preboot", who=runtime.instance_id):
+            yield from runtime.boot()
+
+    def _preboot_settled(self, app_id: str, record: ContainerRecord, boot: "Event") -> None:
+        """Pre-boot bookkeeping: spare joins the pool, or is evicted."""
+        entries = self._pool_boots.get(app_id)
+        if entries is not None:
+            try:
+                entries.remove((boot, record))
+            except ValueError:  # pragma: no cover - double settle
+                pass
+            if not entries:
+                del self._pool_boots[app_id]
+        if boot.exception is None and record.runtime.is_ready:
+            self._ever_warm.add(f"app:{app_id}")
+            self._pool.setdefault(app_id, []).append(record)
+        else:
+            self.db.unregister(record.cid)
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.gauge("sched.pool_size").set(self._total_pool())
+        self._wake_waiters(boot)
+
+    def _pool_take(self, app_id: str) -> Optional[ContainerRecord]:
+        """Claim a READY spare from the app's pool (skip dead ones)."""
+        spares = self._pool.get(app_id)
+        while spares:
+            record = spares.pop(0)
+            if not spares:
+                del self._pool[app_id]
+                spares = None
+            if record.runtime.is_ready:
+                self._count_pool_hit()
+                return record
+        return None
+
+    def _pool_claim(self, app_id: str, record: ContainerRecord) -> ContainerRecord:
+        """A waiter resolved to a specific spare; remove it from the pool."""
+        spares = self._pool.get(app_id)
+        if spares and record in spares:
+            spares.remove(record)
+            if not spares:
+                del self._pool[app_id]
+        self._count_pool_hit()
+        return record
+
+    def _count_pool_hit(self) -> None:
+        self.preboot_hits += 1
+        metrics = metrics_of(self.env)
+        if metrics is not None:
+            metrics.counter("sched.preboot_hits").inc()
+            metrics.gauge("sched.pool_size").set(self._total_pool())
+
+    def _rideable_preboot(self, app_id: str) -> Optional[Tuple["Event", ContainerRecord]]:
+        """The earliest in-flight pre-boot for the app, if any."""
+        entries = self._pool_boots.get(app_id)
+        return entries[0] if entries else None
+
+    def drain_pool(self, app_id: str) -> bool:
+        """Stop one idle READY spare (predictor hysteresis drain)."""
+        spares = self._pool.get(app_id)
+        if not spares:
+            return False
+        for i, record in enumerate(spares):
+            if record.runtime.is_ready and record.active_requests == 0:
+                spares.pop(i)
+                if not spares:
+                    del self._pool[app_id]
+                record.runtime.stop()
+                self.pool_drained += 1
+                metrics = metrics_of(self.env)
+                if metrics is not None:
+                    metrics.counter("sched.pool_drained").inc()
+                    metrics.gauge("sched.pool_size").set(self._total_pool())
+                return True
+        return False
+
+    def pool_spares(self, app_id: str) -> int:
+        """READY spares currently pooled for the app."""
+        return len(self._pool.get(app_id, ()))
+
+    def pool_size(self, app_id: str) -> int:
+        """Warm capacity in flight for the app beyond ready runtimes:
+        pooled spares, pre-boots mid-flight, and a demand-driven cold
+        boot if one is pending under the app's allocation key."""
+        size = len(self._pool.get(app_id, ())) + len(self._pool_boots.get(app_id, ()))
+        if f"app:{app_id}" in self._boots:
+            size += 1
+        return size
+
+    def pooled_cids(self) -> Set[str]:
+        """CIDs of every pooled spare (idle-reaper protection)."""
+        out: Set[str] = set()
+        for spares in self._pool.values():
+            for record in spares:
+                out.add(record.cid)
+        return out
+
+    def _total_pool(self) -> int:
+        """Spares + in-flight pre-boots across every app (gauge value)."""
+        return sum(len(v) for v in self._pool.values()) + sum(
+            len(v) for v in self._pool_boots.values()
+        )

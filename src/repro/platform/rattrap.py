@@ -96,6 +96,18 @@ class RattrapPlatform(CloudPlatform):
             self.server, cid, optimized=self.optimized, shared_base=shared_base
         )
 
+    def make_pool_runtime(self, cid: str, app_id: str) -> RuntimeEnvironment:
+        """A warm-pool spare: same CAC, flagged prewarmed.  The app's
+        code reaches it through the Warehouse on first dispatch."""
+        shared_base = self.shared_layer.base_layer if self.shared_layer else None
+        return CloudAndroidContainer(
+            self.server,
+            cid,
+            optimized=self.optimized,
+            shared_base=shared_base,
+            prewarmed=True,
+        )
+
     def code_needed(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> bool:
         """With the code cache, upload only on a platform-wide miss;
         without it, per-container like the VM cloud."""

@@ -5,11 +5,24 @@ The paper contrasts Rattrap's scheduling granularity with VM clouds:
 rather than at VM-level in existing platforms".  Here that means the
 scheduler sees every request (a process inside a container), tracks
 per-runtime concurrency, and picks targets by instantaneous load.
+
+The predictive extension closes the observability loop: a
+:class:`WarmPoolPredictor` watches per-app arrival-rate EWMAs and the
+``dispatch.pending_boots`` trend from the metrics registry and keeps a
+warm-container pool sized to the demand forecast, so a cold-start wave
+lands on pre-booted CACs instead of stalling behind fresh boots.
+Dispatch becomes *tail-aware* at the same time: with observability on,
+:meth:`MonitorScheduler.pick_least_loaded` ranks warm candidates by a
+decayed per-runtime ``response_s`` p95 instead of raw load, steering
+traffic away from containers whose tail latency is drifting.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional, Set
 
 from ..obs import metrics_of
 from ..sim.monitor import TimeSeries
@@ -17,8 +30,14 @@ from .container_db import ContainerDB, ContainerRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment
+    from .base import CloudPlatform
 
-__all__ = ["MonitorScheduler"]
+__all__ = [
+    "MonitorScheduler",
+    "ArrivalRateEWMA",
+    "PredictiveConfig",
+    "WarmPoolPredictor",
+]
 
 
 class MonitorScheduler:
@@ -31,6 +50,12 @@ class MonitorScheduler:
         self.active_series.record(env.now, 0.0)
         self._active = 0
         self.peak_active = 0
+        #: tail-aware ranking: when True (predictive platforms) and a
+        #: decayed p95 exists for a candidate, it outranks raw load
+        self.tail_ranking = False
+        #: EWMA smoothing applied to each runtime's histogram p95
+        self.tail_gamma = 0.2
+        self._tail_p95: Dict[str, float] = {}
 
     # -- monitoring ------------------------------------------------------------
     def request_started(self, cid: str) -> None:
@@ -53,6 +78,29 @@ class MonitorScheduler:
         if metrics is not None:
             metrics.gauge("scheduler.active_requests").set(self._active)
 
+    def note_response(self, cid: str, response_s: float, metrics) -> None:
+        """Fold one end-to-end response into the runtime's tail estimate.
+
+        Feeds a per-runtime ``sched.response_s.<cid>`` histogram and
+        keeps a decayed copy of its p95, which is what tail-aware
+        ranking sorts by.  With the registry absent (obs off) this is a
+        no-op — ranking falls back to pure load.
+        """
+        if metrics is None:
+            return
+        hist = metrics.histogram(f"sched.response_s.{cid}")
+        hist.observe(response_s)
+        p95 = hist.quantile(0.95)
+        prev = self._tail_p95.get(cid)
+        if prev is None:
+            self._tail_p95[cid] = p95
+        else:
+            self._tail_p95[cid] = prev + self.tail_gamma * (p95 - prev)
+
+    def tail_p95(self, cid: str) -> float:
+        """Decayed response-time p95 for a runtime (0.0 = no data yet)."""
+        return self._tail_p95.get(cid, 0.0)
+
     @property
     def active_requests(self) -> int:
         return self._active
@@ -63,12 +111,219 @@ class MonitorScheduler:
     ) -> Optional[ContainerRecord]:
         """Least-active-requests-first among ready candidates; ties break
         toward the runtime that has served more total requests (warmer
-        caches)."""
+        caches).  Under tail-aware ranking the decayed per-runtime p95
+        leads the key: a runtime whose tail is drifting loses traffic to
+        one that is responding briskly, load being the tie-breaker."""
         ready = [r for r in candidates if r.runtime.is_ready]
         if not ready:
             return None
+        if self.tail_ranking and self._tail_p95:
+            tails = self._tail_p95
+            return min(
+                ready,
+                key=lambda r: (
+                    tails.get(r.cid, 0.0),
+                    r.active_requests,
+                    -r.total_requests,
+                    r.cid,
+                ),
+            )
         return min(ready, key=lambda r: (r.active_requests, -r.total_requests, r.cid))
 
     def mean_concurrency(self, t0: float, t1: float) -> float:
         """Time-average number of in-flight requests over a window."""
         return self.active_series.time_average(t0, t1)
+
+
+class ArrivalRateEWMA:
+    """Per-app arrival-rate estimator over fixed ticks.
+
+    Arrivals are counted between ticks; each :meth:`tick` folds the
+    instantaneous rate into an exponentially weighted moving average.
+    Under a constant rate ``r`` the estimate converges monotonically to
+    ``r`` (property-tested), and after demand stops it decays
+    geometrically — the hysteresis the warm pool drains on.
+    """
+
+    def __init__(self, alpha: float = 0.2, tick_s: float = 1.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        self.alpha = alpha
+        self.tick_s = tick_s
+        self._counts: Dict[str, int] = {}
+        self._rates: Dict[str, float] = {}
+
+    def observe(self, app_id: str) -> None:
+        """Count one arrival for the app since the last tick."""
+        self._counts[app_id] = self._counts.get(app_id, 0) + 1
+
+    def tick(self) -> None:
+        """Fold the tick's counts into every app's rate estimate."""
+        counts = self._counts
+        rates = self._rates
+        for app_id in counts:
+            if app_id not in rates:
+                rates[app_id] = 0.0
+        alpha = self.alpha
+        for app_id, prev in rates.items():
+            inst = counts.get(app_id, 0) / self.tick_s
+            rates[app_id] = prev + alpha * (inst - prev)
+        counts.clear()
+
+    def rate(self, app_id: str) -> float:
+        """Current estimated arrivals/second for the app."""
+        return self._rates.get(app_id, 0.0)
+
+    def apps(self) -> List[str]:
+        """Apps with an estimate, in first-seen order (deterministic)."""
+        return list(self._rates)
+
+
+@dataclass(frozen=True)
+class PredictiveConfig:
+    """Knobs of the warm-pool predictor (see docs/PERFORMANCE.md)."""
+
+    #: predictor cadence in simulated seconds
+    tick_s: float = 1.0
+    #: EWMA smoothing per tick for the arrival-rate estimate
+    alpha: float = 0.2
+    #: safety multiplier on the expected arrivals-per-boot-window
+    headroom: float = 1.5
+    #: per-app ceiling on warm spares + in-flight pre-boots
+    max_pool: int = 4
+    #: keep at least one spare warm this long after the app's last
+    #: arrival, even once the rate estimate has decayed to ~0 — the
+    #: knob that lets session-structured traces land warm
+    hold_s: float = 300.0
+    #: drain the pool once expected arrivals-per-boot-window falls
+    #: below this (and the hold window has lapsed) — the low edge of
+    #: the hysteresis band; the high edge is any positive demand
+    low_watermark: float = 0.05
+    #: consecutive surplus ticks required before draining one spare
+    drain_ticks: int = 3
+    #: rank warm candidates by decayed per-runtime response p95
+    tail_aware: bool = True
+    #: samples of dispatch.pending_boots kept for the trend boost
+    trend_window: int = 5
+
+
+class WarmPoolPredictor:
+    """Observability-driven warm-pool sizing for one platform node.
+
+    Each tick the predictor folds the arrival-rate EWMAs, reads the
+    ``dispatch.pending_boots`` gauge trend from the metrics registry,
+    and reconciles every known app's warm capacity (ready runtimes +
+    pool spares + in-flight boots) against the demand forecast:
+    pre-booting spares on a deficit, draining one per tick on a
+    persistent surplus.  Without a metrics registry it never pre-boots
+    — the predictor is an observability consumer by design.
+    """
+
+    def __init__(self, platform: "CloudPlatform", config: Optional[PredictiveConfig] = None):
+        self.platform = platform
+        self.cfg = config if config is not None else PredictiveConfig()
+        self.rates = ArrivalRateEWMA(self.cfg.alpha, self.cfg.tick_s)
+        self._last_arrival: Dict[str, float] = {}
+        self._surplus_ticks: Dict[str, int] = {}
+        self._pending_samples: Deque[int] = deque(maxlen=self.cfg.trend_window)
+        self._boot_s: Optional[float] = None
+        self.ticks = 0
+        self.drains = 0
+
+    # -- signals ---------------------------------------------------------------
+    def observe_arrival(self, request) -> None:
+        """Platform serve-path hook: one request arrived for its app."""
+        self.rates.observe(request.app_id)
+        self._last_arrival[request.app_id] = self.platform.env.now
+
+    def boot_estimate_s(self) -> float:
+        """Cold-boot duration the pool math amortizes (probe, cached)."""
+        if self._boot_s is None:
+            probe = self.platform.make_pool_runtime("probe", "probe")
+            self._boot_s = probe.boot_sequence.idle_duration_s
+        return self._boot_s
+
+    def pending_boots_trend(self) -> int:
+        """Rise of ``dispatch.pending_boots`` over the sample window."""
+        if len(self._pending_samples) < 2:
+            return 0
+        return self._pending_samples[-1] - self._pending_samples[0]
+
+    def target_pool(self, app_id: str) -> int:
+        """Warm runtimes the forecast wants for an app right now."""
+        cfg = self.cfg
+        demand = self.rates.rate(app_id) * self.boot_estimate_s() * cfg.headroom
+        held = (
+            app_id in self._last_arrival
+            and self.platform.env.now - self._last_arrival[app_id] <= cfg.hold_s
+        )
+        if demand < cfg.low_watermark and not held:
+            return 0
+        target = max(1, math.ceil(demand))
+        trend = self.pending_boots_trend()
+        if trend > 0:
+            # Boots are piling up faster than they settle: a cold wave
+            # is landing — widen the pool by the observed rise.
+            target += trend
+        return min(target, cfg.max_pool)
+
+    def protected_cids(self) -> Set[str]:
+        """Runtimes the idle reaper must spare: pool members, plus up to
+        ``target_pool`` idle warm runtimes per app (pool-by-retention —
+        cheaper than reaping a warm runtime only to re-boot a spare)."""
+        dispatcher = self.platform.dispatcher
+        out = set(dispatcher.pooled_cids())
+        db = self.platform.db
+        for app_id in self.rates.apps():
+            need = self.target_pool(app_id) - dispatcher.pool_spares(app_id)
+            if need <= 0:
+                continue
+            for record in db.with_app(app_id):
+                if record.active_requests == 0 and record.cid not in out:
+                    out.add(record.cid)
+                    need -= 1
+                    if need == 0:
+                        break
+        return out
+
+    # -- the control loop ---------------------------------------------------------
+    def tick(self) -> None:
+        """One reconciliation pass (called every ``tick_s`` sim-seconds)."""
+        self.ticks += 1
+        self.rates.tick()
+        platform = self.platform
+        if platform.offline:
+            # Failover-aware: a dark node neither pre-boots nor drains;
+            # its traffic rehashes elsewhere and grows pools there.
+            self._surplus_ticks.clear()
+            return
+        metrics = metrics_of(platform.env)
+        if metrics is None:
+            return  # no registry, no pre-boot: the predictor reads obs signals
+        self._pending_samples.append(int(metrics.gauge("dispatch.pending_boots").value))
+        dispatcher = platform.dispatcher
+        for app_id in self.rates.apps():
+            target = self.target_pool(app_id)
+            metrics.gauge(f"sched.arrival_rate.{app_id}").set(self.rates.rate(app_id))
+            metrics.gauge(f"sched.target_pool.{app_id}").set(target)
+            have = len(platform.db.with_app(app_id)) + dispatcher.pool_size(app_id)
+            if have < target:
+                for _ in range(target - have):
+                    if dispatcher.preboot(app_id) is None:
+                        break
+                self._surplus_ticks[app_id] = 0
+            elif have > target:
+                streak = self._surplus_ticks.get(app_id, 0) + 1
+                self._surplus_ticks[app_id] = streak
+                if streak >= self.cfg.drain_ticks and dispatcher.drain_pool(app_id):
+                    self.drains += 1
+            else:
+                self._surplus_ticks[app_id] = 0
+
+    def run(self, env: "Environment"):
+        """Process generator: tick forever (pair with ``env.process``)."""
+        while True:
+            yield env.timeout(self.cfg.tick_s)
+            self.tick()

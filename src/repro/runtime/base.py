@@ -83,6 +83,9 @@ class RuntimeEnvironment:
         #: app packages whose code is loaded into this runtime (warm)
         self.loaded_apps: Set[str] = set()
         self.requests_served = 0
+        #: True for warm-pool spares booted ahead of demand (predictive
+        #: scheduling) — reports can split pre-boots from demand boots
+        self.prewarmed = False
 
     # -- lifecycle --------------------------------------------------------------
     def _acquire_resources(self) -> None:

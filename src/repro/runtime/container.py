@@ -59,6 +59,7 @@ class CloudAndroidContainer(RuntimeEnvironment):
         instance_id: str,
         optimized: bool = True,
         shared_base: Optional[Layer] = None,
+        prewarmed: bool = False,
     ):
         if optimized and shared_base is None:
             raise ValueError(
@@ -83,6 +84,7 @@ class CloudAndroidContainer(RuntimeEnvironment):
         )
         self.optimized = optimized
         self.shared_base = shared_base
+        self.prewarmed = prewarmed
         self.device_namespace = None
         #: the container's union-mounted rootfs
         top = Layer(f"{instance_id}-top")

@@ -14,11 +14,14 @@ bench_compare = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(bench_compare)
 
 
-def _payload(walls):
-    return {
-        "schema_version": 1,
-        "experiments": [{"name": n, "wall_s": w} for n, w in walls.items()],
-    }
+def _payload(walls, schema=1):
+    rows = []
+    for n, w in walls.items():
+        row = {"name": n, "wall_s": w}
+        if schema >= 2:
+            row["p99_wall_s"] = w  # single-cell experiments: p99 == wall
+        rows.append(row)
+    return {"schema_version": schema, "experiments": rows}
 
 
 def test_compare_flags_regressions_over_threshold():
@@ -60,11 +63,32 @@ def test_compare_ignores_experiments_missing_from_fresh():
 
 
 def test_compare_rejects_unknown_schema():
-    bad = {"schema_version": 2, "experiments": []}
+    bad = {"schema_version": 3, "experiments": []}
     with pytest.raises(ValueError, match="schema"):
         bench_compare.compare(bad, _payload({}))
     with pytest.raises(ValueError, match="schema"):
         bench_compare.compare(_payload({}), {"experiments": []})
+
+
+def test_compare_reads_v1_baseline_against_v2_fresh():
+    # A v1 baseline (no p99) still compares against a fresh v2 run; the
+    # missing tail column surfaces as None, not an error.
+    rows, regressions = bench_compare.compare(
+        _payload({"fig9": 1.0}, schema=1),
+        _payload({"fig9": 1.1}, schema=2),
+    )
+    assert rows[0]["base_p99_s"] is None
+    assert rows[0]["fresh_p99_s"] == pytest.approx(1.1)
+    assert regressions == []
+
+
+def test_compare_carries_v2_p99_through():
+    rows, _ = bench_compare.compare(
+        _payload({"fig9": 1.0}, schema=2),
+        _payload({"fig9": 1.0}, schema=2),
+    )
+    assert rows[0]["base_p99_s"] == pytest.approx(1.0)
+    assert rows[0]["fresh_p99_s"] == pytest.approx(1.0)
 
 
 def test_cli_compares_saved_runs(tmp_path, capsys):

@@ -114,11 +114,17 @@ def test_benchmark_payload_schema():
         "schema_version", "jobs", "cpu_count", "total_wall_s", "experiments",
     }
     (row,) = payload["experiments"]
-    assert set(row) == {"name", "wall_s", "cells"}
+    assert set(row) == {"name", "wall_s", "p99_wall_s", "cells"}
     assert row["cells"] == [
         {"key": [0], "wall_s": timings[0].wall_s},
         {"key": [1], "wall_s": timings[1].wall_s},
     ]
+    # nearest-rank p99 over 2 cells is the slower one
+    assert row["p99_wall_s"] == max(t.wall_s for t in timings)
+    empty = benchmark_payload(
+        [{"name": "none", "wall_s": 0.1}], jobs=0, total_wall_s=0.1
+    )
+    assert empty["experiments"][0]["p99_wall_s"] is None
 
 
 def test_runner_bench_writes_stable_schema(tmp_path, capsys):

@@ -8,16 +8,23 @@ runs of the same cells, and across repeated runs in one process.
 """
 
 import json
+import os
 
+import pytest
+
+import repro.obs as obs_mod
+from repro.experiments.common import run_workload_experiment
 from repro.experiments.engine import Cell, run_cells
 from repro.network import make_link
 from repro.obs import Observability
 from repro.offload import run_inflow_experiment
 from repro.platform import RattrapPlatform
 from repro.sim import Environment
-from repro.workloads import CHESS_GAME, VIRUS_SCAN, generate_inflow
+from repro.workloads import CHESS_GAME, VIRUS_SCAN, generate_inflow, get_profile
 
 PROFILES = {"chess": CHESS_GAME, "scan": VIRUS_SCAN}
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 
 
 def _obs_cell(profile_name: str, seed: int) -> dict:
@@ -59,6 +66,43 @@ def test_repeated_runs_are_byte_identical():
     first = json.dumps(_obs_cell("chess", seed=7), sort_keys=True)
     second = json.dumps(_obs_cell("chess", seed=7), sort_keys=True)
     assert first == second
+
+
+def test_merged_worker_snapshots_match_serial_drain():
+    """--trace/--metrics with --jobs N drains the same snapshots as serial.
+
+    This drives the real auto-attach path: enable_auto, run the cells
+    through the engine, drain.  Serially the environments are created
+    in-process; in parallel the pool workers snapshot and pickle them
+    back, and the engine absorbs in cell order.
+    """
+    obs_mod.enable_auto(tracing=True, metrics=True)
+    try:
+        run_cells(_cells(), jobs=1)
+        serial = obs_mod.drain()
+        run_cells(_cells(), jobs=3)
+        parallel = obs_mod.drain()
+    finally:
+        obs_mod.disable_auto()
+    assert len(serial) == len(parallel) == 4
+    assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+
+
+@pytest.mark.parametrize("platform", ["vm", "rattrap-wo", "rattrap"])
+def test_golden_trace_sequence_is_pinned(platform):
+    """The full span sequence for one seed is a regression artifact.
+
+    Any change to request ordering, phase boundaries, or dispatcher
+    wake-up order shows up here as a diff against the checked-in trace.
+    """
+    exp = run_workload_experiment(
+        platform, get_profile("ocr"), devices=2, requests_per_device=3,
+        seed=1, with_tracing=True,
+    )
+    rows = exp.env.obs.tracer.as_rows()
+    with open(os.path.join(DATA_DIR, f"trace_{platform}_ocr_seed1.json")) as fh:
+        golden = json.load(fh)
+    assert rows == golden
 
 
 def test_snapshot_contains_spans_and_metrics():
