@@ -1,7 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-compare experiments chaos scale predictive
+.PHONY: test bench bench-compare experiments chaos scale predictive \
+	megascale megascale-smoke
+
+JOBS ?= 0
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,20 +16,32 @@ chaos:
 
 ## Run the opt-in 1k-10k device scale ramp (see docs/PERFORMANCE.md).
 ## PREDICTIVE=1 runs the reactive-vs-predictive warm-pool comparison
-## instead of the device ramp.
+## instead of the device ramp; JOBS=N fans the ramp cells over N
+## processes (identical output either way).
 scale:
-	$(PYTHON) -m repro.experiments.runner scale $(if $(PREDICTIVE),--predictive)
+	$(PYTHON) -m repro.experiments.runner scale --jobs $(JOBS) $(if $(PREDICTIVE),--predictive)
 
 ## Run the opt-in LiveLab-trace predictive-scheduling comparison
 ## (see docs/PERFORMANCE.md).
 predictive:
 	$(PYTHON) -m repro.experiments.runner predictive
 
-## Run every experiment and write BENCH_experiments.json with
-## per-cell and per-experiment wall-clock (JOBS=N to parallelize).
-JOBS ?= 0
+## Run the opt-in 1M-device sharded + mesoscale experiment
+## (see docs/PERFORMANCE.md "Megascale").  JOBS=N runs one worker
+## process per shard; the smoke variant is the cheap CI configuration
+## (50k devices over 2 shards).
+megascale:
+	$(PYTHON) -m repro.experiments.runner megascale --jobs $(JOBS)
+
+megascale-smoke:
+	$(PYTHON) -m repro.experiments.runner megascale --smoke --jobs $(JOBS)
+
+## Run every experiment plus the scale-family smoke configs and write
+## BENCH_experiments.json with per-cell/per-experiment wall-clock and
+## device throughput (JOBS=N to parallelize).
 bench:
-	$(PYTHON) -m repro.experiments.runner --jobs $(JOBS) --bench
+	$(PYTHON) -m repro.experiments.runner --jobs $(JOBS) --bench --smoke \
+		--extra scale --extra megascale
 
 ## Re-measure the default suite and diff against the committed
 ## BENCH_experiments.json; exits 1 on a >25 % per-experiment regression.

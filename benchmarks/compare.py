@@ -8,11 +8,14 @@ Usage::
     python benchmarks/compare.py --threshold 0.25   # regression bar
 
 Compares per-experiment wall-clock from ``BENCH_experiments.json``
-(schema v1 or v2, written by ``make bench``) against a fresh
+(schema v1, v2 or v3, written by ``make bench``) against a fresh
 measurement and exits non-zero when any experiment regressed by more
 than the threshold.  Schema v2 additionally carries a per-experiment
 cell-wall p99 (``p99_wall_s``); the comparison table shows it as a
-tail-latency column, with a dash for v1 baselines that predate it.  Two defenses against flakiness: experiments faster than
+tail-latency column, with a dash for v1 baselines that predate it.
+Schema v3 adds ``devices``/``devices_per_s`` for the scale family
+(smoke-measured here so the sharded kernel's throughput trends across
+PRs too).  Two defenses against flakiness: experiments faster than
 the noise floor on either side are skipped (interpreter jitter swamps
 a 200 ms measurement), and the fresh suite is measured best-of-N
 (``--repeats``, min wall per experiment) so a background process
@@ -42,9 +45,14 @@ NOISE_FLOOR_S = 0.25
 #: measure the fresh suite this many times and keep the per-experiment min
 DEFAULT_REPEATS = 2
 
-#: v1 has per-experiment wall only; v2 adds ``p99_wall_s``.  The reader
-#: accepts both so a fresh v2 run still compares against old baselines.
-SUPPORTED_SCHEMAS = (1, 2)
+#: v1 has per-experiment wall only; v2 adds ``p99_wall_s``; v3 adds
+#: ``devices``/``devices_per_s``.  The reader accepts all three so a
+#: fresh v3 run still compares against old baselines.
+SUPPORTED_SCHEMAS = (1, 2, 3)
+
+#: opt-in experiments measured with --smoke alongside the default suite
+#: so the sharded kernel's device throughput is part of the baseline
+SMOKE_EXPERIMENTS = ("scale", "megascale")
 
 
 def _by_name(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
@@ -56,9 +64,11 @@ def _by_name(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     out: Dict[str, Dict[str, Any]] = {}
     for e in payload["experiments"]:
         p99 = e.get("p99_wall_s")  # absent in v1, possibly null in v2
+        dps = e.get("devices_per_s")  # absent before v3, null off-family
         out[e["name"]] = {
             "wall_s": float(e["wall_s"]),
             "p99_wall_s": None if p99 is None else float(p99),
+            "devices_per_s": None if dps is None else float(dps),
         }
     return out
 
@@ -93,6 +103,8 @@ def compare(
             "delta": delta,
             "base_p99_s": b["p99_wall_s"],
             "fresh_p99_s": new[name]["p99_wall_s"],
+            "base_dev_s": b["devices_per_s"],
+            "fresh_dev_s": new[name]["devices_per_s"],
         }
         rows.append(row)
         if delta > threshold and base_s >= floor_s and fresh_s >= floor_s:
@@ -105,20 +117,23 @@ def run_fresh_suite(repeats: int = DEFAULT_REPEATS) -> Dict[str, Any]:
 
     Each experiment runs ``repeats`` times and keeps the fastest wall
     time: noise from a loaded machine is strictly additive, so the min
-    is the best estimate of the code's true cost.
+    is the best estimate of the code's true cost.  The scale-family
+    opt-ins (:data:`SMOKE_EXPERIMENTS`) are measured with their smoke
+    configs appended, matching the ``make bench`` baseline.
     """
     from repro.experiments.engine import benchmark_payload, collect_timings
     from repro.experiments.runner import EXPERIMENTS, run_experiment
 
     bench_rows = []
     suite_t0 = time.perf_counter()
-    for name in EXPERIMENTS:
+    for name in list(EXPERIMENTS) + list(SMOKE_EXPERIMENTS):
+        smoke = name in SMOKE_EXPERIMENTS
         best_s = None
         best_timings: List[Any] = []
         for _ in range(max(1, repeats)):
             t0 = time.perf_counter()
             with collect_timings() as timings:
-                run_experiment(name, jobs=0)
+                run_experiment(name, jobs=0, smoke=smoke)
             wall_s = time.perf_counter() - t0
             if best_s is None or wall_s < best_s:
                 best_s, best_timings = wall_s, list(timings)
@@ -173,18 +188,22 @@ def main(argv=None) -> int:
     rows, regressions = compare(baseline, fresh, args.threshold, args.floor)
     print(
         f"{'experiment':14s} {'base':>8s} {'fresh':>8s} {'delta':>8s} "
-        f"{'b.p99':>8s} {'f.p99':>8s}"
+        f"{'b.p99':>8s} {'f.p99':>8s} {'b.dev/s':>9s} {'f.dev/s':>9s}"
     )
 
     def p99(value) -> str:
         return "-" if value is None else f"{value:.2f}s"
+
+    def devs(value) -> str:
+        return "-" if value is None else f"{value / 1e3:.0f}k"
 
     for row in rows:
         flag = "  <-- REGRESSION" if row in regressions else ""
         print(
             f"{row['name']:14s} {row['base_s']:7.2f}s {row['fresh_s']:7.2f}s "
             f"{100 * row['delta']:+7.1f}% {p99(row['base_p99_s']):>8s} "
-            f"{p99(row['fresh_p99_s']):>8s}{flag}"
+            f"{p99(row['fresh_p99_s']):>8s} {devs(row.get('base_dev_s')):>9s} "
+            f"{devs(row.get('fresh_dev_s')):>9s}{flag}"
         )
     total_base = sum(r["base_s"] for r in rows)
     total_fresh = sum(r["fresh_s"] for r in rows)

@@ -49,8 +49,10 @@ __all__ = [
 ]
 
 #: bump when the BENCH_experiments.json layout changes incompatibly
-#: (v2 adds per-experiment ``p99_wall_s`` over the cell wall-clocks)
-BENCH_SCHEMA_VERSION = 2
+#: (v2 adds per-experiment ``p99_wall_s`` over the cell wall-clocks;
+#: v3 adds ``devices``/``devices_per_s`` throughput for scale-family
+#: experiments whose cells report a ``devices`` count)
+BENCH_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -76,11 +78,26 @@ class Cell:
 
 @dataclass
 class CellTiming:
-    """Wall-clock record for one executed cell."""
+    """Wall-clock record for one executed cell.
+
+    ``devices`` is the simulated-device count the cell reported (cells
+    returning a mapping with a ``"devices"`` entry — the scale family),
+    or ``None`` for cells that don't model a device fleet.
+    """
 
     experiment: str
     key: Tuple[Any, ...]
     wall_s: float
+    devices: Optional[int] = None
+
+
+def _devices_of(value: Any) -> Optional[int]:
+    """The ``devices`` count a cell's return value reports, if any."""
+    if isinstance(value, Mapping):
+        devices = value.get("devices")
+        if isinstance(devices, int) and not isinstance(devices, bool):
+            return devices
+    return None
 
 
 # Timings flow to whichever collector is active; `None` means drop them.
@@ -198,8 +215,10 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = 0) -> List[Any]:
             # identical results via the in-process fallback.
             outcomes = _run_serial(cells)
     if _active_timings is not None:
-        for cell, (_, wall_s) in zip(cells, outcomes):
-            _active_timings.append(CellTiming(cell.experiment, cell.key, wall_s))
+        for cell, (value, wall_s) in zip(cells, outcomes):
+            _active_timings.append(
+                CellTiming(cell.experiment, cell.key, wall_s, _devices_of(value))
+            )
     return [value for value, _ in outcomes]
 
 
@@ -214,9 +233,12 @@ def benchmark_payload(
     list of ``{"key": [...], "wall_s": ...}`` entries.  Schema v2 adds
     ``p99_wall_s`` — the nearest-rank p99 over the experiment's cell
     wall-clocks (``null`` when no cells were timed), the tail signal
-    the comparator trends across PRs.  The schema is covered by a
-    tier-1 smoke test so downstream tooling can trend wall-clock
-    across PRs.
+    the comparator trends across PRs.  Schema v3 adds throughput for
+    the scale family: per-cell ``devices`` (when the cell reported a
+    fleet size), per-experiment ``devices`` (their sum) and
+    ``devices_per_s`` (devices over summed cell wall-clock; ``null``
+    when no cell reported devices).  The schema is covered by a tier-1
+    smoke test so downstream tooling can trend wall-clock across PRs.
     """
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -224,16 +246,28 @@ def benchmark_payload(
         "cpu_count": os.cpu_count(),
         "total_wall_s": total_wall_s,
         "experiments": [
-            {
-                "name": row["name"],
-                "wall_s": row["wall_s"],
-                "p99_wall_s": _p99([t.wall_s for t in row.get("timings", ())]),
-                "cells": [
-                    {"key": list(t.key), "wall_s": t.wall_s}
-                    for t in row.get("timings", ())
-                ],
-            }
-            for row in experiments
+            _experiment_row(row) for row in experiments
+        ],
+    }
+
+
+def _experiment_row(row: Mapping[str, Any]) -> Dict[str, Any]:
+    """One per-experiment entry of the v3 benchmark payload."""
+    timings = list(row.get("timings", ()))
+    device_cells = [t for t in timings if t.devices is not None]
+    devices = sum(t.devices for t in device_cells) if device_cells else None
+    device_wall = sum(t.wall_s for t in device_cells)
+    return {
+        "name": row["name"],
+        "wall_s": row["wall_s"],
+        "p99_wall_s": _p99([t.wall_s for t in timings]),
+        "devices": devices,
+        "devices_per_s": (
+            devices / device_wall if devices and device_wall > 0 else None
+        ),
+        "cells": [
+            {"key": list(t.key), "wall_s": t.wall_s, "devices": t.devices}
+            for t in timings
         ],
     }
 

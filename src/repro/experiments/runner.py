@@ -35,6 +35,7 @@ from . import (
     fig9_performance,
     fig10_power,
     fig11_trace_cdf,
+    megascale,
     predictive,
     scale,
     scorecard,
@@ -80,6 +81,7 @@ EXTRA_EXPERIMENTS: Dict[str, Tuple[object, str]] = {
     "chaos": (chaos, "extension: recovery under injected faults"),
     "scale": (scale, "extension: 1k-10k device scale-out ramp"),
     "predictive": (predictive, "extension: predictive warm-pool vs reactive"),
+    "megascale": (megascale, "extension: 1M devices on the sharded kernel"),
 }
 
 
@@ -88,14 +90,17 @@ def _registry() -> Dict[str, Tuple[object, str]]:
     return {**EXPERIMENTS, **EXTRA_EXPERIMENTS}
 
 
-def run_experiment(name: str, jobs: int = 0, predictive: bool = False) -> str:
+def run_experiment(
+    name: str, jobs: int = 0, predictive: bool = False, smoke: bool = False
+) -> str:
     """Run one experiment and return its report text.
 
     ``jobs`` is forwarded to the experiment's cell engine: ``0``/``1``
     runs serially, ``N`` fans the cells over up to N processes.  The
-    report text is identical either way.  ``predictive`` is forwarded
-    only to experiments whose ``run`` accepts it (the warm-pool
-    comparison modes); others ignore the flag.
+    report text is identical either way.  ``predictive`` and ``smoke``
+    are forwarded only to experiments whose ``run`` accepts them (the
+    warm-pool comparison modes and the scale family's abbreviated
+    configs); others ignore the flags.
     """
     import inspect
 
@@ -106,9 +111,12 @@ def run_experiment(name: str, jobs: int = 0, predictive: bool = False) -> str:
         raise KeyError(
             f"unknown experiment {name!r}; known: {sorted(registry)}"
         ) from None
+    params = inspect.signature(module.run).parameters
     kwargs = {"jobs": jobs}
-    if predictive and "predictive" in inspect.signature(module.run).parameters:
+    if predictive and "predictive" in params:
         kwargs["predictive"] = True
+    if smoke and "smoke" in params:
+        kwargs["smoke"] = True
     return module.report(module.run(**kwargs))
 
 
@@ -251,6 +259,20 @@ def main(argv=None) -> int:
         "predictive comparison",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run abbreviated configs in experiments that support them "
+        "(scale family) — the cheap variant CI uses",
+    )
+    parser.add_argument(
+        "--extra",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="append an opt-in experiment to the default suite (may be "
+        f"repeated). Known: {', '.join(EXTRA_EXPERIMENTS)}",
+    )
+    parser.add_argument(
         "--obs-dir",
         metavar="DIR",
         default="obs",
@@ -278,9 +300,11 @@ def main(argv=None) -> int:
         print(profile_experiment(args.profile))
         return 0
 
-    # Opt-in experiments run only when named explicitly: the default
-    # suite (and its bench payload) stays identical to a fault-free tree.
+    # Opt-in experiments run only when named explicitly (positionally or
+    # via --extra): the default suite (and its bench payload) stays
+    # identical to a fault-free tree.
     names = args.experiments or list(EXPERIMENTS)
+    names = names + [n for n in args.extra if n not in names]
     unknown = [n for n in names if n not in registry]
     if unknown:
         print(f"unknown experiment(s): {unknown}", file=sys.stderr)
@@ -302,7 +326,12 @@ def main(argv=None) -> int:
         for name in names:
             t0 = time.perf_counter()
             with collect_timings() as timings:
-                text = run_experiment(name, jobs=args.jobs, predictive=args.predictive)
+                text = run_experiment(
+                    name,
+                    jobs=args.jobs,
+                    predictive=args.predictive,
+                    smoke=args.smoke,
+                )
             elapsed = time.perf_counter() - t0
             bench_rows.append({"name": name, "wall_s": elapsed, "timings": list(timings)})
             print(f"\n{'#' * 72}\n# {name}: {registry[name][1]}  ({elapsed:.1f}s)\n{'#' * 72}")

@@ -41,12 +41,14 @@ from ..platform import ClusterPlatform, PredictiveConfig, RattrapPlatform
 from ..sim import Environment
 from ..workloads import VIRUS_SCAN
 
-__all__ = ["run", "report", "cells", "merge", "DEVICE_STEPS"]
+__all__ = ["run", "report", "cells", "merge", "DEVICE_STEPS", "SMOKE_STEPS"]
 
 MB = 1024 * 1024
 
 #: ramp steps: devices (== requests; each device offloads once)
 DEVICE_STEPS = (1000, 2500, 5000, 10000)
+#: abbreviated ramp for CI smoke / fresh-baseline measurement
+SMOKE_STEPS = (1000, 2500)
 SERVERS = 3
 ACCESS_POINTS = 64
 #: open-loop arrival rate; 10 req/s x 2.3 cpu_s ≈ 64 % of the fleet's
@@ -216,8 +218,12 @@ def _predictive_cell(arm: str, seed: int = 1) -> Dict[str, Any]:
     }
 
 
-def cells(seed: int = 1, predictive: bool = False) -> list:
-    """One cell per ramp step, or one per comparison arm."""
+def cells(seed: int = 1, predictive: bool = False, smoke: bool = False) -> list:
+    """One cell per ramp step, or one per comparison arm.
+
+    ``smoke=True`` truncates the ramp to :data:`SMOKE_STEPS` — the
+    cheap variant CI and the fresh-baseline measurement use.
+    """
     from .engine import Cell
 
     if predictive:
@@ -237,7 +243,7 @@ def cells(seed: int = 1, predictive: bool = False) -> list:
             fn=_scale_cell,
             kwargs={"devices": devices, "seed": seed},
         )
-        for devices in DEVICE_STEPS
+        for devices in (SMOKE_STEPS if smoke else DEVICE_STEPS)
     ]
 
 
@@ -247,16 +253,17 @@ def merge(cell_list: list, values: List[Any]) -> Dict[Any, Dict[str, Any]]:
 
 
 def run(
-    seed: int = 1, jobs: int = 0, predictive: bool = False
+    seed: int = 1, jobs: int = 0, predictive: bool = False, smoke: bool = False
 ) -> Dict[Any, Dict[str, Any]]:
     """Run the whole ramp (serially by default: RSS is per-process).
 
     ``predictive=True`` runs the reactive-vs-predictive warm-pool
-    comparison instead of the device ramp.
+    comparison instead of the device ramp; ``smoke=True`` truncates
+    the ramp to :data:`SMOKE_STEPS`.
     """
     from .engine import run_cells
 
-    cs = cells(seed=seed, predictive=predictive)
+    cs = cells(seed=seed, predictive=predictive, smoke=smoke)
     return merge(cs, run_cells(cs, jobs=jobs))
 
 

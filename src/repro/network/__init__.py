@@ -1,11 +1,13 @@
 """Network substrate: links, the paper's scenarios, transfer framing."""
 
+from .backhaul import ShardLink
 from .link import FlowLink, FluidChannel, Link, Mbps, MTU_BYTES
 from .scenarios import SCENARIOS, make_link, scenario_names
 from .transfer import TransferLog, send_messages
 
 __all__ = [
     "Link",
+    "ShardLink",
     "FlowLink",
     "FluidChannel",
     "Mbps",

@@ -1,0 +1,86 @@
+"""Cross-shard backhaul links for the sharded simulation kernel.
+
+When the megascale kernel partitions zones (AP group + cluster node +
+device population) across shards, traffic between zones — a roaming
+device whose sticky home node lives in another zone — cannot share a
+:class:`~repro.network.link.FluidChannel`: the two endpoints advance on
+different event heaps.  A :class:`ShardLink` is the *stub* that stands
+in for that WAN leg: a deterministic latency + bandwidth descriptor
+that converts a payload size into a transit delay and posts the
+payload as a :class:`~repro.sim.shard.ShardMessage`.
+
+The link's latency is also the sync *lookahead*: the conservative
+epoch window must not exceed the smallest ``latency_s`` of any
+ShardLink in the topology (see :func:`repro.sim.shard.sync_window`),
+which is exactly what makes delivery timestamps safe — a message can
+never arrive in the receiving shard's past.
+
+Because a ShardLink is pure arithmetic over its arguments, the same
+object produces the same delays whether the two zones share one
+Environment (one shard) or live in different processes (many shards);
+cross-shard traffic therefore does not perturb byte-identity across
+shard counts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.shard import ShardMessage, ShardRunner
+
+__all__ = ["ShardLink"]
+
+
+class ShardLink:
+    """Deterministic latency/bandwidth stub between two zones.
+
+    Unlike :class:`~repro.network.link.Link` this models no jitter,
+    loss, or fair-share contention — a backhaul is provisioned fiber,
+    not a contended radio — so the transit delay is a pure function of
+    the byte count and both sides of a sharded run compute identical
+    timestamps.
+    """
+
+    def __init__(self, name: str, latency_s: float, bw_bps: float):
+        if latency_s <= 0:
+            raise ValueError("latency_s must be positive (it is the lookahead)")
+        if bw_bps <= 0:
+            raise ValueError("bw_bps must be positive")
+        self.name = name
+        self.latency_s = float(latency_s)
+        self.bw_bps = float(bw_bps)
+        #: goodput moved over this stub, by direction of :meth:`send`
+        self.bytes_moved = 0
+        self.messages = 0
+
+    def delay_for(self, nbytes: float) -> float:
+        """Transit time for a payload: latency + serialization."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.latency_s + nbytes / self.bw_bps
+
+    def send(
+        self,
+        runner: "ShardRunner",
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Any,
+        nbytes: float,
+    ) -> "ShardMessage":
+        """Post ``payload`` from zone ``src`` to zone ``dst``.
+
+        The message's ``deliver_at`` is ``now + delay_for(nbytes)``;
+        since ``delay_for >= latency_s >= sync window``, the post
+        always satisfies the runner's conservative lookahead check.
+        """
+        self.bytes_moved += int(nbytes)
+        self.messages += 1
+        return runner.post(src, dst, kind, payload, self.delay_for(nbytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ShardLink {self.name} lat={self.latency_s * 1e3:.0f}ms "
+            f"bw={self.bw_bps * 8 / 1e6:.0f}Mbps>"
+        )

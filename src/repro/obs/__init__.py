@@ -34,6 +34,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_metrics_snapshots,
 )
 from .tracer import PHASE_KINDS, Span, Tracer
 
@@ -43,6 +44,7 @@ __all__ = [
     "Span",
     "PHASE_KINDS",
     "MetricsRegistry",
+    "merge_metrics_snapshots",
     "Counter",
     "Gauge",
     "Histogram",

@@ -28,6 +28,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_metrics_snapshots",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_COUNT_BUCKETS",
 ]
@@ -225,3 +226,85 @@ class MetricsRegistry:
             for n, c in sorted(self._counters.items())
             if n.startswith(prefix)
         }
+
+
+def _merge_histogram_snapshots(snaps: List[Dict[str, object]]) -> Dict[str, object]:
+    """Combine per-shard histogram dumps into one cluster-wide summary.
+
+    Buckets merge by upper edge (the fixed bounds make this lossless),
+    so the merged percentiles are exactly what one registry observing
+    every sample would have estimated — bar the shared coarseness of
+    nearest-rank-over-buckets.
+    """
+    live = [s for s in snaps if s.get("count")]
+    if not live:
+        return {"count": 0}
+    count = sum(int(s["count"]) for s in live)
+    total = sum(float(s["total"]) for s in live)
+    mn = min(float(s["min"]) for s in live)
+    mx = max(float(s["max"]) for s in live)
+    merged: Dict[Optional[float], int] = {}
+    for s in live:
+        for bound, n in s["buckets"]:  # type: ignore[union-attr]
+            key = None if bound is None else float(bound)
+            merged[key] = merged.get(key, 0) + int(n)
+    # Finite edges sorted ascending; the overflow bucket (None) last.
+    edges = sorted(k for k in merged if k is not None)
+    ordered = [(e, merged[e]) for e in edges]
+    if None in merged:
+        ordered.append((None, merged[None]))
+
+    def quantile(q: float) -> float:
+        rank = max(1, math.ceil(q * count))
+        cumulative = 0
+        for bound, n in ordered:
+            cumulative += n
+            if cumulative >= rank:
+                return mx if bound is None else min(bound, mx)
+        return mx  # pragma: no cover - defensive
+
+    return {
+        "count": count,
+        "total": total,
+        "mean": total / count,
+        "min": mn,
+        "max": mx,
+        "p50": quantile(0.50),
+        "p95": quantile(0.95),
+        "p99": quantile(0.99),
+        "buckets": [[bound, n] for bound, n in ordered],
+    }
+
+
+def merge_metrics_snapshots(
+    snaps: Sequence[Dict[str, Dict[str, object]]],
+) -> Dict[str, Dict[str, object]]:
+    """Fold per-shard :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Counters and histograms are sums over disjoint shards, so merging
+    is exact.  Gauges are instantaneous per-shard readings: ``value``
+    and ``max`` are summed, which is correct for extensive quantities
+    (in-flight requests, resident bytes) but the summed ``max`` is an
+    upper bound — per-shard peaks need not coincide in time.  Output
+    keys are sorted, so merging is deterministic in shard order.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    hist_parts: Dict[str, List[Dict[str, object]]] = {}
+    for snap in snaps:
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0.0) + float(value)
+        for name, g in (snap.get("gauges") or {}).items():
+            slot = gauges.setdefault(name, {"value": 0.0, "max": 0.0})
+            slot["value"] += float(g["value"])
+            slot["max"] += float(g["max"])
+        for name, h in (snap.get("histograms") or {}).items():
+            hist_parts.setdefault(name, []).append(h)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: _merge_histogram_snapshots(parts)
+            for name, parts in sorted(hist_parts.items())
+        },
+    }

@@ -11,6 +11,7 @@ from .cluster import ClusterPlatform, NodeHealth
 from .container_db import ContainerDB, ContainerRecord
 from .dispatcher import Dispatcher
 from .migration import MigrationError, MigrationManager, MigrationReport
+from .population import PopulationSource, per_request_bytes
 from .qos import QoSController, RebalanceAction
 from .rattrap import RattrapPlatform
 from .registry import (
@@ -57,6 +58,8 @@ __all__ = [
     "ArrivalRateEWMA",
     "PredictiveConfig",
     "WarmPoolPredictor",
+    "PopulationSource",
+    "per_request_bytes",
     "AppWarehouse",
     "CacheEntry",
     "SharedResourceLayer",

@@ -159,6 +159,18 @@ class ArrivalRateEWMA:
         """Count one arrival for the app since the last tick."""
         self._counts[app_id] = self._counts.get(app_id, 0) + 1
 
+    def observe_bulk(self, app_id: str, count: int) -> None:
+        """Count ``count`` arrivals at once (mesoscale aggregate feed).
+
+        Equivalent to ``count`` calls to :meth:`observe`; lets a
+        :class:`~repro.platform.population.PopulationSource` report a
+        whole tick's worth of fluid arrivals in O(1).
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count:
+            self._counts[app_id] = self._counts.get(app_id, 0) + count
+
     def tick(self) -> None:
         """Fold the tick's counts into every app's rate estimate."""
         counts = self._counts
@@ -237,6 +249,19 @@ class WarmPoolPredictor:
         """Platform serve-path hook: one request arrived for its app."""
         self.rates.observe(request.app_id)
         self._last_arrival[request.app_id] = self.platform.env.now
+
+    def observe_aggregate(self, app_id: str, count: int) -> None:
+        """Mesoscale hook: ``count`` fluid arrivals landed for an app.
+
+        Populations modelled analytically never touch the serve path,
+        so they report arrivals in bulk instead; the rate EWMA and the
+        hold-window clock see exactly what ``count`` discrete calls to
+        :meth:`observe_arrival` would have produced.
+        """
+        if count <= 0:
+            return
+        self.rates.observe_bulk(app_id, count)
+        self._last_arrival[app_id] = self.platform.env.now
 
     def boot_estimate_s(self) -> float:
         """Cold-boot duration the pool math amortizes (probe, cached)."""

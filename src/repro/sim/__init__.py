@@ -9,6 +9,8 @@ Public surface:
   :class:`Store` — contention primitives
 - monitors (:class:`TimeSeries`, :class:`UtilizationTracker`, ...)
 - :class:`RandomStreams` — named seeded RNG streams
+- sharding (:class:`ShardRunner`, :func:`run_sharded`) — conservative
+  time-window partitioning of one simulation across processes
 """
 
 from .core import Environment, StopSimulation
@@ -35,6 +37,14 @@ from .resources import (
     Store,
 )
 from .rng import RandomStreams
+from .shard import (
+    CausalityError,
+    ShardMessage,
+    ShardRunner,
+    run_epochs,
+    run_sharded,
+    sync_window,
+)
 
 __all__ = [
     "Environment",
@@ -63,4 +73,10 @@ __all__ = [
     "RandomStreams",
     "EventTracer",
     "TraceEntry",
+    "CausalityError",
+    "ShardMessage",
+    "ShardRunner",
+    "run_epochs",
+    "run_sharded",
+    "sync_window",
 ]

@@ -1,0 +1,373 @@
+"""Sharded DES: conservative time-window synchronization across shards.
+
+One :class:`~repro.sim.core.Environment` tops out around 10k devices;
+the megascale kernel partitions the simulation into *shards* — each a
+self-contained Environment owning a set of *zones* (AP group + cluster
+node + device population) — and advances them epoch by epoch under a
+**conservative sync window**:
+
+- every cross-zone interaction travels as a :class:`ShardMessage` with
+  an explicit ``deliver_at`` timestamp;
+- every message is posted with ``delay >= lookahead`` (the minimum
+  cross-shard link latency), so a message sent anywhere inside epoch
+  ``[kW, (k+1)W)`` is deliverable no earlier than ``(k+1)W``;
+- the epoch loop advances every shard to the epoch boundary, exchanges
+  outboxes, and injects each shard's inbox *before* the next epoch —
+  the receiving shard's clock never has to rewind (the classic
+  conservative / lookahead discipline).
+
+Shard evolution is a pure function of ``(spec, inbox sequence)`` and
+inboxes are routed in a deterministic order, so the parallel path
+(one persistent worker process per shard, same epoch loop over pipes)
+produces summaries byte-identical to the serial one — the same
+jobs=1 ≡ jobs=N discipline :mod:`repro.experiments.engine` proves for
+cells.  And because same-shard messages ride the identical epoch
+mechanism, the *shard count* does not perturb results either: a
+two-zone simulation is byte-identical run as one shard or two.
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> from repro.sim.shard import ShardRunner, run_epochs
+>>> log = []
+>>> a = ShardRunner(0, Environment(), lookahead=1.0)
+>>> b = ShardRunner(1, Environment(), lookahead=1.0)
+>>> b.on("ping", lambda msg: log.append((b.env.now, msg.payload)))
+>>> _ = a.env.defer(lambda: a.post(src=0, dst=1, kind="ping",
+...                               payload="hello", delay=1.5), delay=0.25)
+>>> run_epochs([a, b], owner={0: 0, 1: 1}, window=1.0, until=3.0)
+>>> log
+[(1.75, 'hello')]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .events import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = [
+    "CausalityError",
+    "ShardMessage",
+    "ShardRunner",
+    "run_epochs",
+    "run_sharded",
+    "sync_window",
+]
+
+
+class CausalityError(SimulationError):
+    """A cross-shard message would arrive in the receiver's past."""
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One timestamped message between zones (possibly across shards).
+
+    ``src``/``dst`` are *zone* ids (the modelling unit), not shard
+    indices — the zone → shard mapping is routing detail, so the same
+    message stream is produced no matter how zones are packed into
+    shards.  ``seq`` is a per-source monotonic counter; together with
+    ``deliver_at`` and ``src`` it gives every inbox a total order that
+    is identical across shard counts and job counts.
+    """
+
+    src: int
+    dst: int
+    sent_at: float
+    deliver_at: float
+    kind: str
+    payload: Any
+    seq: int
+
+    def sort_key(self):
+        """Deterministic delivery order within one receiving inbox."""
+        return (self.deliver_at, self.src, self.seq)
+
+
+class ShardRunner:
+    """One shard: an Environment plus message I/O with lookahead.
+
+    Handlers are registered per message ``kind`` and run as plain
+    callbacks at the message's ``deliver_at`` instant (they may spawn
+    processes).  :meth:`post` enforces the conservative contract —
+    ``delay >= lookahead`` — at the *sender*, and :meth:`inject`
+    re-checks it at the *receiver*, so a violation is an immediate
+    :class:`CausalityError` instead of a silently rewritten clock.
+    """
+
+    def __init__(self, shard_id: int, env: "Environment", lookahead: float):
+        if lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self.shard_id = shard_id
+        self.env = env
+        self.lookahead = float(lookahead)
+        self._handlers: Dict[str, Callable[[ShardMessage], None]] = {}
+        self._outbox: List[ShardMessage] = []
+        self._seqs: Dict[int, int] = {}
+        #: messages delivered into this shard (sync observability)
+        self.delivered = 0
+
+    # -- wiring ---------------------------------------------------------------
+    def on(self, kind: str, handler: Callable[[ShardMessage], None]) -> None:
+        """Register the callback for one message kind."""
+        self._handlers[kind] = handler
+
+    # -- sending --------------------------------------------------------------
+    def post(
+        self, src: int, dst: int, kind: str, payload: Any, delay: float
+    ) -> ShardMessage:
+        """Queue a message from zone ``src`` to zone ``dst``.
+
+        ``delay`` is the modelled transit time (link latency + wire
+        time); the conservative window demands ``delay >= lookahead``.
+        """
+        if delay < self.lookahead:
+            raise CausalityError(
+                f"message {kind!r} {src}->{dst} posted with delay {delay!r} "
+                f"below the lookahead {self.lookahead!r}"
+            )
+        seq = self._seqs.get(src, 0)
+        self._seqs[src] = seq + 1
+        msg = ShardMessage(
+            src=src,
+            dst=dst,
+            sent_at=self.env.now,
+            deliver_at=self.env.now + delay,
+            kind=kind,
+            payload=payload,
+            seq=seq,
+        )
+        self._outbox.append(msg)
+        return msg
+
+    def drain_outbox(self) -> List[ShardMessage]:
+        """Take (and clear) every message queued since the last drain."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    # -- receiving ------------------------------------------------------------
+    def inject(self, messages: Sequence[ShardMessage]) -> None:
+        """Schedule delivery of an epoch's inbox (sorted by the caller)."""
+        now = self.env.now
+        for msg in messages:
+            if msg.deliver_at < now:
+                raise CausalityError(
+                    f"message {msg.kind!r} {msg.src}->{msg.dst} delivers at "
+                    f"{msg.deliver_at!r} but the shard clock is already {now!r}"
+                )
+            handler = self._handlers.get(msg.kind)
+            if handler is None:
+                raise KeyError(f"shard {self.shard_id}: no handler for {msg.kind!r}")
+            self.delivered += 1
+            self.env.defer(lambda _m=msg, _h=handler: _h(_m), msg.deliver_at - now)
+
+    # -- advancing ------------------------------------------------------------
+    def advance_to(self, t: float) -> None:
+        """Run the shard's environment up to simulated time ``t``."""
+        self.env.run(until=t)
+
+
+def sync_window(min_cross_latency: float, window: Optional[float] = None) -> float:
+    """The conservative sync window for a given cross-shard lookahead.
+
+    The window may be at most the minimum cross-shard transit delay —
+    any larger and a message sent late in an epoch could land inside
+    the same epoch, behind the receiver's clock.  ``window=None``
+    returns the largest safe window (fewest sync barriers).
+    """
+    if min_cross_latency <= 0:
+        raise ValueError("min_cross_latency must be positive")
+    if window is None:
+        return min_cross_latency
+    if not 0 < window <= min_cross_latency:
+        raise ValueError(
+            f"window {window!r} must be in (0, {min_cross_latency!r}] "
+            "(the minimum cross-shard transit delay)"
+        )
+    return window
+
+
+def _route(
+    messages: List[ShardMessage], owner: Mapping[int, int]
+) -> Dict[int, List[ShardMessage]]:
+    """Bucket an epoch's mail per receiving shard, deterministically."""
+    by_shard: Dict[int, List[ShardMessage]] = {}
+    for msg in messages:
+        by_shard.setdefault(owner[msg.dst], []).append(msg)
+    for inbox in by_shard.values():
+        inbox.sort(key=ShardMessage.sort_key)
+    return by_shard
+
+
+def run_epochs(
+    shards: Sequence[ShardRunner],
+    owner: Mapping[int, int],
+    window: float,
+    until: float,
+) -> None:
+    """Serial conservative epoch loop (the reference implementation).
+
+    Repeats until ``until``: inject each shard's inbox, advance every
+    shard to the epoch boundary (in shard order), then exchange
+    outboxes.  ``owner`` maps zone id → shard index.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    inboxes: Dict[int, List[ShardMessage]] = {}
+    t = min(s.env.now for s in shards) if shards else 0.0
+    while t < until:
+        t_next = min(t + window, until)
+        mail: List[ShardMessage] = []
+        for idx, shard in enumerate(shards):
+            shard.inject(inboxes.get(idx, ()))
+            shard.advance_to(t_next)
+            mail.extend(shard.drain_outbox())
+        inboxes = _route(mail, owner)
+        t = t_next
+    # Mail still in flight at the horizon is a modelling bug upstream:
+    # surface it rather than dropping messages on the floor.
+    if any(inboxes.values()):
+        pending = sum(len(v) for v in inboxes.values())
+        raise SimulationError(
+            f"{pending} cross-shard message(s) undelivered at the horizon "
+            f"{until!r}; extend the run or shrink the workload"
+        )
+
+
+def _shard_worker(conn, build, spec, finalize, obs_flags) -> None:
+    """Persistent worker: one shard, driven over a pipe by run_sharded.
+
+    Protocol: ``("epoch", t_next, inbox)`` → inject + advance, reply
+    with the outbox; ``("finalize",)`` → reply with ``(summary,
+    obs_snapshots)`` and exit.  Any exception is shipped back as
+    ``("error", repr)`` so the parent can fall back to the serial path.
+    """
+    from .. import obs as obs_mod
+
+    try:
+        obs_mod.disable_auto()  # fork may have inherited parent auto state
+        if obs_flags is not None:
+            obs_mod.enable_auto(*obs_flags)
+        shard = build(spec)
+        while True:
+            req = conn.recv()
+            if req[0] == "epoch":
+                _, t_next, inbox = req
+                shard.inject(inbox)
+                shard.advance_to(t_next)
+                conn.send(("ok", shard.drain_outbox()))
+            elif req[0] == "finalize":
+                conn.send(("done", finalize(shard), obs_mod.drain()))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise ValueError(f"unknown request {req[0]!r}")
+    except BaseException as exc:  # pragma: no cover - ships to parent
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        obs_mod.disable_auto()
+        conn.close()
+
+
+def _run_sharded_mp(build, specs, owner, window, until, finalize) -> List[Any]:
+    """Parallel path: one persistent process per shard, epoch barriers."""
+    import multiprocessing as mp
+
+    from .. import obs as obs_mod
+
+    flags = obs_mod.auto_flags()
+    ctx = mp.get_context()
+    pipes, procs = [], []
+    try:
+        for spec in specs:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, build, spec, finalize, flags),
+            )
+            proc.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            procs.append(proc)
+
+        def rpc(idx: int, request):
+            pipes[idx].send(request)
+            reply = pipes[idx].recv()
+            if reply[0] == "error":
+                raise SimulationError(f"shard {idx} worker failed: {reply[1]}")
+            return reply
+
+        inboxes: Dict[int, List[ShardMessage]] = {}
+        t = 0.0
+        while t < until:
+            t_next = min(t + window, until)
+            mail: List[ShardMessage] = []
+            for idx in range(len(specs)):
+                # Lock-step barrier per shard in shard order: identical
+                # message interleave to the serial loop.  (True overlap
+                # would pipeline the sends; determinism first.)
+                _, outbox = rpc(idx, ("epoch", t_next, inboxes.get(idx, [])))
+                mail.extend(outbox)
+            inboxes = _route(mail, owner)
+            t = t_next
+        if any(inboxes.values()):
+            pending = sum(len(v) for v in inboxes.values())
+            raise SimulationError(
+                f"{pending} cross-shard message(s) undelivered at the horizon "
+                f"{until!r}; extend the run or shrink the workload"
+            )
+        summaries: List[Any] = []
+        for idx in range(len(specs)):
+            _, summary, snaps = rpc(idx, ("finalize",))
+            obs_mod.absorb(snaps)  # shard order == serial environment order
+            summaries.append(summary)
+        return summaries
+    finally:
+        for conn in pipes:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+
+
+def run_sharded(
+    build: Callable[[Any], ShardRunner],
+    specs: Sequence[Any],
+    owner: Mapping[int, int],
+    window: float,
+    until: float,
+    finalize: Callable[[ShardRunner], Any],
+    jobs: int = 0,
+) -> List[Any]:
+    """Build, run, and summarize every shard; summaries in shard order.
+
+    ``build(spec)`` constructs one shard from a picklable spec;
+    ``finalize(shard)`` reduces it to a picklable summary after the
+    horizon.  ``jobs <= 1`` runs the serial epoch loop in-process;
+    ``jobs > 1`` runs one persistent worker process per shard (the
+    epoch barrier needs bidirectional exchange, so shards cannot share
+    pool workers).  Both paths produce identical summaries; the
+    parallel path falls back to serial if processes are unavailable.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    window = sync_window(window)
+    if jobs > 1:
+        try:
+            return _run_sharded_mp(build, specs, owner, window, until, finalize)
+        except SimulationError:
+            raise  # a modelling error, not a pool failure: do not mask it
+        except Exception:
+            pass  # pool unavailable (sandbox, pickling): serial fallback
+    shards = [build(spec) for spec in specs]
+    run_epochs(shards, owner, window, until)
+    return [finalize(shard) for shard in shards]

@@ -14,12 +14,15 @@ bench_compare = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(bench_compare)
 
 
-def _payload(walls, schema=1):
+def _payload(walls, schema=1, devices=None):
     rows = []
     for n, w in walls.items():
         row = {"name": n, "wall_s": w}
         if schema >= 2:
             row["p99_wall_s"] = w  # single-cell experiments: p99 == wall
+        if schema >= 3:
+            row["devices"] = devices
+            row["devices_per_s"] = None if devices is None else devices / w
         rows.append(row)
     return {"schema_version": schema, "experiments": rows}
 
@@ -63,7 +66,7 @@ def test_compare_ignores_experiments_missing_from_fresh():
 
 
 def test_compare_rejects_unknown_schema():
-    bad = {"schema_version": 3, "experiments": []}
+    bad = {"schema_version": 99, "experiments": []}
     with pytest.raises(ValueError, match="schema"):
         bench_compare.compare(bad, _payload({}))
     with pytest.raises(ValueError, match="schema"):
@@ -89,6 +92,23 @@ def test_compare_carries_v2_p99_through():
     )
     assert rows[0]["base_p99_s"] == pytest.approx(1.0)
     assert rows[0]["fresh_p99_s"] == pytest.approx(1.0)
+
+
+def test_compare_carries_v3_device_throughput_through():
+    # v3 baselines surface devices/s; a v2 baseline against a fresh v3
+    # run leaves the base column None instead of erroring.
+    rows, _ = bench_compare.compare(
+        _payload({"scale": 2.0}, schema=3, devices=3500),
+        _payload({"scale": 2.0}, schema=3, devices=3500),
+    )
+    assert rows[0]["base_dev_s"] == pytest.approx(1750.0)
+    assert rows[0]["fresh_dev_s"] == pytest.approx(1750.0)
+    rows, _ = bench_compare.compare(
+        _payload({"scale": 2.0}, schema=2),
+        _payload({"scale": 2.0}, schema=3, devices=3500),
+    )
+    assert rows[0]["base_dev_s"] is None
+    assert rows[0]["fresh_dev_s"] == pytest.approx(1750.0)
 
 
 def test_cli_compares_saved_runs(tmp_path, capsys):

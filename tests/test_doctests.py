@@ -13,12 +13,14 @@ import repro.network.scenarios
 import repro.sim.core
 import repro.sim.debug
 import repro.sim.rng
+import repro.sim.shard
 
 MODULES = [
     repro,
     repro.sim.core,
     repro.sim.rng,
     repro.sim.debug,
+    repro.sim.shard,
     repro.network.scenarios,
 ]
 

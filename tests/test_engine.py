@@ -114,17 +114,49 @@ def test_benchmark_payload_schema():
         "schema_version", "jobs", "cpu_count", "total_wall_s", "experiments",
     }
     (row,) = payload["experiments"]
-    assert set(row) == {"name", "wall_s", "p99_wall_s", "cells"}
+    assert set(row) == {
+        "name", "wall_s", "p99_wall_s", "devices", "devices_per_s", "cells",
+    }
     assert row["cells"] == [
-        {"key": [0], "wall_s": timings[0].wall_s},
-        {"key": [1], "wall_s": timings[1].wall_s},
+        {"key": [0], "wall_s": timings[0].wall_s, "devices": None},
+        {"key": [1], "wall_s": timings[1].wall_s, "devices": None},
     ]
     # nearest-rank p99 over 2 cells is the slower one
     assert row["p99_wall_s"] == max(t.wall_s for t in timings)
+    # toy cells report no fleet, so v3's throughput fields stay null
+    assert row["devices"] is None
+    assert row["devices_per_s"] is None
     empty = benchmark_payload(
         [{"name": "none", "wall_s": 0.1}], jobs=0, total_wall_s=0.1
     )
     assert empty["experiments"][0]["p99_wall_s"] is None
+
+
+def _fleet_cell(devices):
+    return {"devices": devices, "completed": devices}
+
+
+def test_benchmark_payload_device_throughput():
+    # Cells returning a mapping with "devices" roll up into the v3
+    # per-experiment throughput: devices summed over device cells,
+    # divided by their summed wall-clock.
+    cells = [
+        Cell(experiment="scale", key=(n,), fn=_fleet_cell, kwargs={"devices": n})
+        for n in (1000, 2500)
+    ]
+    with collect_timings() as timings:
+        run_cells(cells, jobs=0)
+    assert [t.devices for t in timings] == [1000, 2500]
+    payload = benchmark_payload(
+        [{"name": "scale", "wall_s": 0.5, "timings": timings}],
+        jobs=0,
+        total_wall_s=0.5,
+    )
+    (row,) = payload["experiments"]
+    assert row["devices"] == 3500
+    wall = sum(t.wall_s for t in timings)
+    assert row["devices_per_s"] == pytest.approx(3500 / wall)
+    assert [c["devices"] for c in row["cells"]] == [1000, 2500]
 
 
 def test_runner_bench_writes_stable_schema(tmp_path, capsys):
@@ -137,5 +169,5 @@ def test_runner_bench_writes_stable_schema(tmp_path, capsys):
     (row,) = payload["experiments"]
     assert row["name"] == "sec3e"
     assert row["cells"] and all(
-        set(c) == {"key", "wall_s"} for c in row["cells"]
+        set(c) == {"key", "wall_s", "devices"} for c in row["cells"]
     )

@@ -1,0 +1,83 @@
+"""Tests for the megascale experiment (experiments/megascale.py).
+
+The full 1M-device run goes via ``make megascale``; here the anchor
+exactness, shard-count identity, and a small mega configuration check
+the wiring — mesoscale conserved totals match the discrete model
+exactly, shard packing and job count are routing detail, and kernel
+events stay decoupled from the device count.
+"""
+
+from repro.experiments.megascale import (
+    SMOKE_DEVICES_PER_ZONE,
+    SMOKE_ZONES,
+    _anchor_cell,
+    _calibrate,
+    _identity_cell,
+    _mega_cell,
+    _mega_zone_specs,
+    _run_packing,
+    report,
+    run,
+)
+
+
+def test_anchor_conserved_totals_exact():
+    # The mesoscale aggregate must conserve the discrete model's
+    # totals exactly — requests, bytes, and energy, not approximately.
+    a = _anchor_cell()
+    assert a["exact"] == {
+        "completed": True,
+        "bytes_up": True,
+        "bytes_down": True,
+        "energy_j": True,
+    }
+    assert a["exact_all"]
+    assert a["mean_response_delta_s"] < 1e-9
+    # ...while doing strictly less kernel work than the discrete arm.
+    assert a["meso"]["events"] < a["discrete"]["events"]
+
+
+def test_anchor_warm_requests_uniform():
+    # The anchor regime is uncontended, so every discrete warm request
+    # is physically identical (response/energy spreads are ulp noise).
+    a = _anchor_cell()
+    assert a["discrete"]["uniform"]
+    assert a["discrete"]["response_spread_s"] < 1e-9
+    assert a["meso"]["base_response_s"] == a["meso"]["base_response_s"]
+
+
+def test_identity_byte_identical_across_shard_counts():
+    i = _identity_cell()
+    assert i["identical"]
+    assert i["cross_messages"] > 0  # roamers actually crossed shards
+    assert all(z["visitors_served"] > 0 for z in i["zones"])
+
+
+def test_mega_cell_small_config():
+    m = _mega_cell(zones=2, devices_per_zone=5000)
+    assert m["devices"] == 10000
+    assert m["completed"] == m["devices"]  # nobody dropped
+    # Mesoscale decouples events from devices: far fewer events than
+    # requests is the whole point of the aggregate population.
+    assert m["events"] < m["devices"]
+    assert m["cross_messages"] > 0
+    assert m["roamers"] > 0
+    assert m["preboots"] > 0  # predictor fed from aggregate arrivals
+    assert m["metrics"]["counters"]["population.completed"] > 0
+
+
+def test_mega_serial_vs_worker_pool_identical():
+    cal = _calibrate(1)
+    specs, horizon = _mega_zone_specs(2, 5000, 1, cal["base_response_s"])
+    packing = [[0], [1]]
+    serial = _run_packing(specs, packing, horizon, jobs=0, metrics=True)
+    pooled = _run_packing(specs, packing, horizon, jobs=2, metrics=True)
+    assert serial == pooled  # summaries AND metrics snapshots
+
+
+def test_megascale_smoke_report_renders():
+    text = report(run(smoke=True))
+    assert "EXACT" in text
+    assert "byte-identical" in text
+    assert "req/s" in text
+    assert f"{SMOKE_ZONES * SMOKE_DEVICES_PER_ZONE} devices" in text

@@ -1,0 +1,186 @@
+"""Tests for the sharded DES kernel (repro/sim/shard.py).
+
+The conservative contract under test: a cross-shard message may never
+arrive in the receiving shard's past, and the shard/job topology is
+routing detail — the serial epoch loop, the per-shard worker pool, and
+any zone→shard packing all produce byte-identical summaries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+from repro.sim.events import SimulationError
+from repro.sim.shard import (
+    CausalityError,
+    ShardMessage,
+    ShardRunner,
+    run_epochs,
+    run_sharded,
+    sync_window,
+)
+
+LOOKAHEAD = 0.5
+
+
+def _pair(lookahead=1.0):
+    a = ShardRunner(0, Environment(), lookahead=lookahead)
+    b = ShardRunner(1, Environment(), lookahead=lookahead)
+    return a, b
+
+
+# ------------------------------------------------------------ contract edges
+def test_post_below_lookahead_raises():
+    a, _ = _pair(lookahead=1.0)
+    with pytest.raises(CausalityError):
+        a.post(src=0, dst=1, kind="ping", payload=None, delay=0.999)
+
+
+def test_inject_message_in_the_past_raises():
+    _, b = _pair()
+    b.on("ping", lambda msg: None)
+    b.advance_to(5.0)
+    stale = ShardMessage(
+        src=0, dst=1, sent_at=1.0, deliver_at=4.0, kind="ping", payload=None, seq=0
+    )
+    with pytest.raises(CausalityError):
+        b.inject([stale])
+
+
+def test_inject_unknown_kind_raises():
+    _, b = _pair()
+    msg = ShardMessage(
+        src=0, dst=1, sent_at=0.0, deliver_at=2.0, kind="mystery", payload=None, seq=0
+    )
+    with pytest.raises(KeyError):
+        b.inject([msg])
+
+
+def test_lookahead_must_be_positive():
+    with pytest.raises(ValueError):
+        ShardRunner(0, Environment(), lookahead=0.0)
+
+
+def test_sync_window_validation():
+    assert sync_window(0.25) == 0.25
+    assert sync_window(0.25, window=0.1) == 0.1
+    with pytest.raises(ValueError):
+        sync_window(0.25, window=0.3)  # wider than the lookahead
+    with pytest.raises(ValueError):
+        sync_window(0.25, window=0.0)
+    with pytest.raises(ValueError):
+        sync_window(0.0)
+
+
+def test_undelivered_mail_at_horizon_raises():
+    a, b = _pair(lookahead=1.0)
+    b.on("ping", lambda msg: None)
+    a.env.defer(lambda: a.post(0, 1, "ping", None, delay=1.0), 0.5)
+    # deliver_at = 1.5 > until = 1.0: the loop must surface the loss.
+    with pytest.raises(SimulationError, match="undelivered"):
+        run_epochs([a, b], owner={0: 0, 1: 1}, window=1.0, until=1.0)
+
+
+# ---------------------------------------------------- causality (property)
+@given(
+    sends=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=8.0,
+                      allow_nan=False, allow_infinity=False),
+            st.floats(min_value=0.0, max_value=5.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        max_size=20,
+    )
+)
+@settings(deadline=None, max_examples=60)
+def test_cross_shard_timestamps_never_violate_receiver_clock(sends):
+    """Random traffic honoring the lookahead always delivers on time.
+
+    Every message lands exactly at its ``deliver_at``, never behind the
+    receiving shard's clock (``inject`` would raise CausalityError),
+    and the delivery order is the deterministic ``sort_key`` order.
+    """
+    a, b = _pair(lookahead=1.0)
+    received = []
+    b.on("ping", lambda msg: received.append((b.env.now, msg)))
+    for t, extra in sends:
+        a.env.defer(
+            lambda _e=extra: a.post(0, 1, "ping", None, delay=1.0 + _e), t
+        )
+    run_epochs([a, b], owner={0: 0, 1: 1}, window=1.0, until=20.0)
+    assert len(received) == len(sends)
+    assert b.delivered == len(sends)
+    for now, msg in received:
+        assert now == msg.deliver_at
+        assert msg.deliver_at >= msg.sent_at + 1.0  # the lookahead
+    assert [m for _, m in received] == sorted(
+        (m for _, m in received), key=ShardMessage.sort_key
+    )
+
+
+# ------------------------------------------------- determinism across jobs
+def _build_pingpong(spec):
+    """Two-zone ping/pong shard: zone 0 sends, zone 1 echoes back."""
+    env = Environment()
+    runner = ShardRunner(spec["shard"], env, lookahead=LOOKAHEAD)
+    runner.log = []
+    if spec["shard"] == 0:
+        for i in range(spec["pings"]):
+            env.defer(
+                lambda _i=i: runner.post(
+                    0, 1, "ping", _i, delay=LOOKAHEAD + 0.1 + 0.01 * _i
+                ),
+                0.3 * i,
+            )
+        runner.on("pong", lambda msg: runner.log.append((env.now, msg.payload)))
+    else:
+        def echo(msg):
+            runner.log.append((env.now, msg.payload))
+            runner.post(1, 0, "pong", msg.payload * 10, delay=LOOKAHEAD + 0.05)
+
+        runner.on("ping", echo)
+    return runner
+
+
+def _finalize_pingpong(runner):
+    return {
+        "shard": runner.shard_id,
+        "log": list(runner.log),
+        "delivered": runner.delivered,
+        "events": runner.env.event_count,
+    }
+
+
+def _pingpong_specs(pings=12):
+    return [{"shard": 0, "pings": pings}, {"shard": 1, "pings": pings}]
+
+
+def test_run_sharded_serial_completes_roundtrips():
+    out = run_sharded(
+        _build_pingpong,
+        _pingpong_specs(),
+        owner={0: 0, 1: 1},
+        window=LOOKAHEAD,
+        until=10.0,
+        finalize=_finalize_pingpong,
+        jobs=0,
+    )
+    assert [s["shard"] for s in out] == [0, 1]
+    assert len(out[0]["log"]) == 12  # every pong came home
+    assert [p for _, p in out[1]["log"]] == list(range(12))
+
+
+def test_run_sharded_jobs_identical_to_serial():
+    """The determinism pin: jobs=1 and jobs=N summaries are equal."""
+    kwargs = dict(
+        specs=_pingpong_specs(),
+        owner={0: 0, 1: 1},
+        window=LOOKAHEAD,
+        until=10.0,
+        finalize=_finalize_pingpong,
+    )
+    serial = run_sharded(_build_pingpong, jobs=0, **kwargs)
+    parallel = run_sharded(_build_pingpong, jobs=2, **kwargs)
+    assert serial == parallel
