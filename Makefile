@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-compare experiments chaos scale predictive \
-	megascale megascale-smoke
+.PHONY: test bench bench-compare experiments chaos abuse abuse-smoke \
+	scale predictive megascale megascale-smoke
 
 JOBS ?= 0
 
@@ -13,6 +13,15 @@ test:
 ## suite; see docs/ROBUSTNESS.md).
 chaos:
 	$(PYTHON) -m repro.experiments.runner chaos
+
+## Run the opt-in hostile-tenant isolation scorecard (countermeasures
+## off vs on per attack class; see docs/ROBUSTNESS.md).  The smoke
+## variant is the cheap CI configuration.
+abuse:
+	$(PYTHON) -m repro.experiments.runner abuse --jobs $(JOBS)
+
+abuse-smoke:
+	$(PYTHON) -m repro.experiments.runner abuse --smoke --jobs $(JOBS)
 
 ## Run the opt-in 1k-10k device scale ramp (see docs/PERFORMANCE.md).
 ## PREDICTIVE=1 runs the reactive-vs-predictive warm-pool comparison

@@ -25,6 +25,7 @@ from .engine import benchmark_payload, collect_timings
 
 from . import (
     ablations,
+    abuse,
     battery,
     chaos,
     density,
@@ -79,6 +80,7 @@ EXPERIMENTS: Dict[str, Tuple[object, str]] = {
 #: so the default reports stay byte-identical to a fault-free tree
 EXTRA_EXPERIMENTS: Dict[str, Tuple[object, str]] = {
     "chaos": (chaos, "extension: recovery under injected faults"),
+    "abuse": (abuse, "extension: hostile-tenant isolation scorecard"),
     "scale": (scale, "extension: 1k-10k device scale-out ramp"),
     "predictive": (predictive, "extension: predictive warm-pool vs reactive"),
     "megascale": (megascale, "extension: 1M devices on the sharded kernel"),

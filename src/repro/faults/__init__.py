@@ -9,11 +9,20 @@ against the platform, and the recovery machinery — dispatcher re-boot,
 cluster failover, client retry — turns them back into served requests.
 """
 
+from .adversaries import (
+    Adversary,
+    AirtimeHog,
+    PermissionStorm,
+    ResidencySquatter,
+    RetryAmplifier,
+    WarmPoolSquatter,
+)
 from .errors import (
     CodeUploadAborted,
     FaultError,
     LinkBlackout,
     NodeDown,
+    ResourceExhausted,
     RuntimeCrashed,
 )
 from .injector import FaultInjector
@@ -29,4 +38,11 @@ __all__ = [
     "NodeDown",
     "LinkBlackout",
     "CodeUploadAborted",
+    "ResourceExhausted",
+    "Adversary",
+    "PermissionStorm",
+    "AirtimeHog",
+    "ResidencySquatter",
+    "WarmPoolSquatter",
+    "RetryAmplifier",
 ]

@@ -18,6 +18,7 @@ __all__ = [
     "NodeDown",
     "LinkBlackout",
     "CodeUploadAborted",
+    "ResourceExhausted",
 ]
 
 
@@ -59,3 +60,22 @@ class CodeUploadAborted(FaultError):
     def __init__(self, app_id: str):
         super().__init__(f"code upload for {app_id!r} aborted")
         self.app_id = app_id
+
+
+class ResourceExhausted(FaultError):
+    """A shared platform resource is temporarily exhausted.
+
+    Raised instead of a bare ``IOError`` when a
+    :class:`~repro.platform.tenancy.TenancyManager` is attached (e.g.
+    tmpfs staging full under a residency squatter), so the offload
+    client's retry/backoff — and eventually its local fallback — handle
+    abuse-driven pressure as a recoverable fault rather than a crash.
+    """
+
+    def __init__(self, resource: str, detail: str = ""):
+        message = f"resource exhausted: {resource}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.resource = resource
+

@@ -34,9 +34,15 @@ class FaultInjector:
     def __init__(self, env: "Environment", plan: FaultPlan):
         self.env = env
         self.plan = plan
-        self.rng = RandomStreams(plan.seed).get("faults.victim")
+        self._streams = RandomStreams(plan.seed)
+        self.rng = self._streams.get("faults.victim")
+        #: the attached platform (or cluster) — adversary processes
+        #: submit hostile traffic through it
+        self.platform: Any = None
         #: platforms the injector can reach (cluster nodes or [platform])
         self._nodes: List[Any] = []
+        #: adversaries launched against the attached platform
+        self.adversaries: List[Any] = []
         #: device id (or "*") -> latest blackout end time
         self._blackouts: Dict[str, float] = {}
         #: audit log of what was actually injected (kind, time, target)
@@ -50,6 +56,7 @@ class FaultInjector:
         """Arm the plan against ``platform`` (a CloudPlatform or a
         ClusterPlatform — anything exposing ``nodes`` or acting as one)."""
         nodes = getattr(platform, "nodes", None)
+        self.platform = platform
         self._nodes = list(nodes) if nodes is not None else [platform]
         for fault in self.plan.faults:
             if fault.node >= len(self._nodes):
@@ -59,6 +66,28 @@ class FaultInjector:
                 )
             self.env.process(self._arm(fault))
         return self
+
+    def stream(self, name: str):
+        """A named RNG derived from the plan seed (adversary jitter)."""
+        return self._streams.get(name)
+
+    def launch(self, adversary: Any) -> Any:
+        """Spawn a hostile-tenant adversary against the attached platform.
+
+        The adversary's ``run(env, injector)`` generator becomes a
+        defused background process (its abuse must not crash the run
+        when the simulation ends mid-attack).  Returns the process.
+        """
+        if self.platform is None:
+            raise RuntimeError("attach() a platform before launching adversaries")
+        proc = self.env.process(adversary.run(self.env, self))
+        proc.defused = True
+        self.adversaries.append(adversary)
+        return proc
+
+    def node(self, index: int = 0) -> Any:
+        """One attached platform node (adversaries aim at layers on it)."""
+        return self._nodes[index]
 
     # -- queries (client side) ---------------------------------------------------
     def link_down(self, device_id: str) -> bool:

@@ -33,12 +33,13 @@ MTU_BYTES = 1500
 class _Flow:
     """One transfer in flight on a :class:`FluidChannel`."""
 
-    __slots__ = ("remaining", "bps", "done")
+    __slots__ = ("remaining", "bps", "done", "tenant")
 
-    def __init__(self, remaining: float, bps: float, done: "Event"):
+    def __init__(self, remaining: float, bps: float, done: "Event", tenant: str = ""):
         self.remaining = remaining  # wire bytes left to move
         self.bps = bps  # rate this flow would get alone
         self.done = done
+        self.tenant = tenant  # owning app id ("" = untagged)
 
 
 class FluidChannel:
@@ -67,14 +68,87 @@ class FluidChannel:
         self.peak_flows = 0
 
     # -- kernel of the model ------------------------------------------------
+    def _shares(self):
+        """Per-flow airtime fractions under per-tenant fair share.
+
+        Returns None on the default path — equal split per *flow*, the
+        legacy model — which is taken whenever no
+        :class:`~repro.platform.tenancy.TenancyManager` enforces
+        per-tenant airtime or no flow is tenant-tagged.  Otherwise
+        airtime is split per *tenant* (weighted, optionally capped with
+        deterministic water-filling), then equally among a tenant's
+        flows — so opening more concurrent flows buys a hog nothing.
+        Untagged flows count as singleton tenants of weight 1.
+        """
+        tenancy = getattr(self.env, "tenancy", None)
+        if tenancy is None:
+            return None
+        cfg = tenancy.cfg
+        if not (cfg.enforce and cfg.per_tenant_airtime):
+            return None
+        flows = self._flows
+        if not any(f.tenant for f in flows):
+            return None
+        groups: dict = {}
+        for i, f in enumerate(flows):
+            key = f.tenant if f.tenant else ("", i)
+            groups.setdefault(key, []).append(i)
+
+        def weight(key) -> float:
+            return cfg.weight_of(key) if isinstance(key, str) else 1.0
+
+        alloc: dict = {}
+        cap = cfg.airtime_cap
+        if cap is None:
+            total_w = sum(weight(k) for k in groups)
+            for k in groups:
+                alloc[k] = weight(k) / total_w
+        else:
+            # Water-filling: clamp over-cap tenants, redistribute the
+            # rest by weight until no tenant exceeds the cap.  Airtime
+            # a fully-capped population leaves unused stays unused —
+            # that is what a cap means.
+            active = sorted(groups, key=str)
+            remaining = 1.0
+            while active:
+                total_w = sum(weight(k) for k in active)
+                over = [k for k in active if remaining * weight(k) / total_w > cap]
+                if not over:
+                    for k in active:
+                        alloc[k] = remaining * weight(k) / total_w
+                    break
+                for k in over:
+                    alloc[k] = cap
+                    remaining -= cap
+                    active.remove(k)
+        shares = [0.0] * len(flows)
+        for key, idxs in groups.items():
+            share = alloc[key] / len(idxs)
+            for i in idxs:
+                shares[i] = share
+        return shares
+
     def _settle(self) -> None:
         """Apply progress accrued since the last flow-set change."""
         now = self.env.now
         dt = now - self._last
         if dt > 0.0 and self._flows:
-            n = len(self._flows)
-            for f in self._flows:
-                f.remaining -= dt * f.bps / n
+            shares = self._shares()
+            if shares is None:
+                n = len(self._flows)
+                for f in self._flows:
+                    f.remaining -= dt * f.bps / n
+                tenancy = getattr(self.env, "tenancy", None)
+                if tenancy is not None:
+                    for f in self._flows:
+                        if f.tenant:
+                            tenancy.account_airtime(f.tenant, dt / n)
+            else:
+                tenancy = self.env.tenancy
+                for f, share in zip(self._flows, shares):
+                    f.remaining -= dt * f.bps * share
+                    if f.tenant:
+                        tenancy.account_airtime(f.tenant, dt * share)
         self._last = now
 
     def _arm(self) -> None:
@@ -83,11 +157,20 @@ class FluidChannel:
         flows = self._flows
         if not flows:
             return
-        n = len(flows)
-        dt = min(f.remaining * n / f.bps for f in flows)
-        # Capture finishers with the same expression that produced the
-        # minimum: float-exact, immune to rounding drift.
-        finishers = [f for f in flows if f.remaining * n / f.bps == dt]
+        shares = self._shares()
+        if shares is None:
+            n = len(flows)
+            dt = min(f.remaining * n / f.bps for f in flows)
+            # Capture finishers with the same expression that produced
+            # the minimum: float-exact, immune to rounding drift.
+            finishers = [f for f in flows if f.remaining * n / f.bps == dt]
+        else:
+            dt = min(
+                f.remaining / (f.bps * s) for f, s in zip(flows, shares)
+            )
+            finishers = [
+                f for f, s in zip(flows, shares) if f.remaining / (f.bps * s) == dt
+            ]
         epoch = self._epoch
         timer = self.env.timeout(max(dt, 0.0))
         timer.add_callback(lambda _ev: self._wake(epoch, finishers))
@@ -108,10 +191,10 @@ class FluidChannel:
     def active_flows(self) -> int:
         return len(self._flows)
 
-    def add(self, nbytes: float, bps: float) -> _Flow:
+    def add(self, nbytes: float, bps: float, tenant: str = "") -> _Flow:
         """Start a flow; its ``done`` event fires when the bytes drain."""
         self._settle()
-        flow = _Flow(float(nbytes), float(bps), self.env.event())
+        flow = _Flow(float(nbytes), float(bps), self.env.event(), tenant)
         if nbytes <= 0.0:
             flow.done.succeed()
             return flow
@@ -230,7 +313,7 @@ class Link:
         return self._channel.peak_flows if self._channel is not None else 0
 
     def transmit(
-        self, env: "Environment", nbytes: float, direction: str
+        self, env: "Environment", nbytes: float, direction: str, tenant: str = ""
     ) -> Generator:
         """Process generator: move ``nbytes`` across the link.
 
@@ -250,7 +333,7 @@ class Link:
                 start = env.now
                 yield env.timeout(latency)
                 channel = self._channel_for(env)
-                flow = channel.add(wire_bytes, bw)
+                flow = channel.add(wire_bytes, bw, tenant)
                 metrics = metrics_of(env)
                 if metrics is not None:
                     metrics.gauge("link.active_flows").set(channel.active_flows)

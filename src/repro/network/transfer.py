@@ -61,17 +61,19 @@ def send_messages(
     messages: Iterable["Message"],
     direction: str,
     log: TransferLog,
+    tenant: str = "",
 ) -> Generator:
     """Process generator: transmit ``messages`` sequentially.
 
     Returns the elapsed transfer time.  Bytes are attributed to each
-    message's ``kind`` in ``log``.
+    message's ``kind`` in ``log``; ``tenant`` tags the flows for
+    per-tenant airtime accounting on shared media.
     """
     start = env.now
     for msg in messages:
         # Drive the transmit generator in-frame: no wrapper Process (or
         # its bootstrap/completion events) per message, and interrupts
         # land in the transmit itself instead of a proxy.
-        yield from link.transmit(env, msg.size_bytes, direction)
+        yield from link.transmit(env, msg.size_bytes, direction, tenant)
         log.record(msg.kind, msg.size_bytes, direction)
     return env.now - start

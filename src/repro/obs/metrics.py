@@ -82,8 +82,14 @@ class Gauge:
             self.max_value = self.value
 
     def add(self, delta: float) -> None:
-        """Adjust the current value by ``delta``."""
-        self.set(self.value + delta)
+        """Adjust the current value by ``delta``, floored at zero.
+
+        Release paths can race a crash-driven forced release; clamping
+        (mirroring Counter's negative-increment guard) keeps a
+        double-release from driving a gauge — and any per-tenant rollup
+        derived from it — below zero.
+        """
+        self.set(max(0.0, self.value + delta))
 
 
 class Histogram:

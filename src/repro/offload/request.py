@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..workloads.base import WorkloadProfile
@@ -86,6 +86,15 @@ class OffloadRequest:
     #: slow request decomposes into its phases across components.
     #: Derived from device/app/request ids unless the client sets one.
     trace_id: str = ""
+    #: workflow operations the offloaded code will perform inside the
+    #: container (e.g. ``("net.outbound", "fs.offload_read")``).  Empty
+    #: — the default — skips workflow filtering entirely; non-empty
+    #: operations are run through the platform's access controller
+    #: during execution and violations count against the app.
+    operations: Tuple[str, ...] = ()
+    #: permissions to request at admission; None uses the access
+    #: controller's default grant set
+    requested_permissions: Optional[FrozenSet[str]] = None
 
     def __post_init__(self):
         if self.request_id < 0:

@@ -30,6 +30,14 @@ from .scheduler import (
     WarmPoolPredictor,
 )
 from .shared_layer import OffloadingIOLayer, SharedResourceLayer
+from .tenancy import (
+    TenancyConfig,
+    TenancyManager,
+    attribution_from_snapshot,
+    render_attribution,
+    tenancy_of,
+    top_offenders,
+)
 from .vmcloud import VMCloudPlatform
 from .warehouse import AppWarehouse, CacheEntry
 
@@ -67,4 +75,10 @@ __all__ = [
     "RequestAccessController",
     "PermissionTable",
     "AccessDecision",
+    "TenancyConfig",
+    "TenancyManager",
+    "tenancy_of",
+    "attribution_from_snapshot",
+    "top_offenders",
+    "render_attribution",
 ]

@@ -124,8 +124,13 @@ class CloudPlatform:
             )
         self.predictor = WarmPoolPredictor(self, config)
         self.dispatcher._pool_factory = self._make_pool_runtime_guarded
-        if self.predictor.cfg.tail_aware:
+        cfg = self.predictor.cfg
+        if cfg.tail_aware:
             self.scheduler.tail_ranking = True
+        # Multi-tenant guardrails live on the dispatcher (it owns the
+        # pool); copied from the config so one object configures both.
+        self.dispatcher.pool_capacity = cfg.pool_capacity
+        self.dispatcher.pool_floors = dict(cfg.pool_floors)
         return self.predictor
 
     def start_predictor(self) -> "Process":
@@ -234,6 +239,9 @@ class CloudPlatform:
         analysis_s = self.admission_delay_s(request)
         decision = self.admit(request)
         if not decision.allowed:
+            tenancy = env.tenancy
+            if tenancy is not None:
+                tenancy.account_blocked(request.app_id)
             result = RequestResult(
                 request=request,
                 timeline=timeline,
@@ -271,7 +279,9 @@ class CloudPlatform:
             bytes_up = sum(m.size_bytes for m in msgs)
             t0 = env.now
             with trace_span(env, "upload", who=link.name, trace=request.trace_id):
-                yield from send_messages(env, link, msgs, "up", self.transfer_log)
+                yield from send_messages(
+                    env, link, msgs, "up", self.transfer_log, tenant=request.app_id
+                )
                 if include_code:
                     with trace_span(env, "stage", who=self.name, trace=request.trace_id):
                         yield from self.on_code_received(request, runtime)
@@ -289,7 +299,14 @@ class CloudPlatform:
             result_msg = result_message(request.profile)
             t0 = env.now
             with trace_span(env, "collect", who=link.name, trace=request.trace_id):
-                yield from send_messages(env, link, [result_msg], "down", self.transfer_log)
+                yield from send_messages(
+                    env,
+                    link,
+                    [result_msg],
+                    "down",
+                    self.transfer_log,
+                    tenant=request.app_id,
+                )
             timeline.add(Phase.TRANSFER, env.now - t0)
 
             self.after_execution(request, runtime)
@@ -333,9 +350,29 @@ class CloudPlatform:
         self.results.append(result)
         return result
 
+    def filter_workflow(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> Generator:
+        """Filter the request's declared workflow operations.
+
+        The base platform has no access controller; Rattrap overrides
+        this to run every operation through its
+        :class:`~repro.platform.access.RequestAccessController`.
+        Returns truthy when the filter blocked the app mid-workflow —
+        the caller aborts the rest of the execution instead of burning
+        more shared CPU on a blocked tenant.
+        """
+        return False
+        yield  # pragma: no cover - empty generator
+
     def _execute(self, request: OffloadRequest, runtime: RuntimeEnvironment) -> Generator:
         """Computation Execution: cold code load, CPU work, offload I/O."""
         profile = request.profile
+        tenancy = self.env.tenancy
+        if request.operations:
+            aborted = yield from self.filter_workflow(request, runtime)
+            if aborted:
+                return
         if not runtime.has_app(request.app_id):
             yield from self.fetch_code(request, runtime)
             if profile.code_load_s:
@@ -344,6 +381,8 @@ class CloudPlatform:
                     speed_factor=runtime.cpu_speed_factor,
                     tag=f"load:{request.app_id}",
                 )
+                if tenancy is not None:
+                    tenancy.account_cpu(request.app_id, profile.code_load_s)
             runtime.mark_loaded(request.app_id)
             self.on_app_loaded(request, runtime)
         cpu_work = profile.cloud_cpu_s * request.work_scale + profile.framework_overhead_s
@@ -354,6 +393,8 @@ class CloudPlatform:
                 tag=request.app_id,
                 weight=self.priority_weights.get(request.app_id, 1.0),
             )
+            if tenancy is not None:
+                tenancy.account_cpu(request.app_id, cpu_work)
         if profile.exec_io_ops:
             dev = runtime.offload_io_device()
             yield from dev.batch(

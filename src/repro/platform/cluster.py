@@ -240,3 +240,43 @@ class ClusterPlatform:
         ``completed()`` exactly even when requests fail or nodes also
         serve direct traffic."""
         return list(self._served_by_node)
+
+    # -- multi-tenant enforcement -------------------------------------------------
+    def sync_blocklists(self, now: Optional[float] = None) -> List[str]:
+        """Propagate access-controller blocks cluster-wide.
+
+        A hostile app blocked on one node would otherwise keep burning
+        analysis time everywhere else (failover routing happily rehashes
+        it).  Every node with an access controller adopts the union of
+        current blocks — the longest remaining window wins.  Returns the
+        sorted app ids blocked anywhere.
+        """
+        if now is None:
+            now = self.env.now
+        controllers = [
+            node.access for node in self.nodes if getattr(node, "access", None)
+        ]
+        blocked: dict = {}
+        for controller in controllers:
+            for app_id in controller.blocked_apps(now):
+                until = controller.table_for(app_id).blocked_until
+                prev = blocked.get(app_id)
+                if prev is None or (until is not None and until > prev):
+                    blocked[app_id] = until
+        for controller in controllers:
+            for app_id, until in blocked.items():
+                if not controller.is_blocked(app_id, now):
+                    controller.import_block(app_id, now=now, blocked_until=until)
+        return sorted(blocked)
+
+    def start_blocklist_sync(self, interval_s: float = 5.0) -> "Process":
+        """Spawn a background process that syncs blocklists forever."""
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+
+        def sync(env):
+            while True:
+                yield env.timeout(interval_s)
+                self.sync_blocklists(env.now)
+
+        return self.env.process(sync(self.env))

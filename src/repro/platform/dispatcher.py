@@ -84,6 +84,14 @@ class Dispatcher:
         self._pool_factory: Optional[PoolRuntimeFactory] = None
         self._pool: Dict[str, List[ContainerRecord]] = {}
         self._pool_boots: Dict[str, List[Tuple["Event", ContainerRecord]]] = {}
+        #: node-wide cap on warm slots (spares + in-flight pre-boots);
+        #: None = unbounded (set via PredictiveConfig.pool_capacity)
+        self.pool_capacity: Optional[int] = None
+        #: per-app reservation floors honoured under capacity contention
+        #: — a squatter cannot pre-boot into capacity other apps are
+        #: still owed (set via PredictiveConfig.pool_floors)
+        self.pool_floors: Dict[str, int] = {}
+        self.preboot_refusals = 0
         #: allocation keys that have ever had a ready runtime — a boot
         #: stall behind such a key was warm-capable (better scheduling
         #: could have kept a runtime hot)
@@ -332,6 +340,12 @@ class Dispatcher:
         """
         if self._pool_factory is None:
             return None
+        if not self._capacity_allows(app_id):
+            self.preboot_refusals += 1
+            metrics = metrics_of(self.env)
+            if metrics is not None:
+                metrics.counter("sched.preboot_refusals").inc()
+            return None
         cid = self.db.new_cid()
         try:
             runtime = self._pool_factory(cid, app_id)
@@ -350,7 +364,46 @@ class Dispatcher:
             metrics.counter("sched.preboots").inc()
             metrics.gauge("sched.pool_size").set(self._total_pool())
         boot.add_callback(lambda ev: self._preboot_settled(app_id, record, boot))
+        self._note_pool(app_id)
         return record
+
+    def _capacity_allows(self, app_id: str) -> bool:
+        """May ``app_id`` take one more warm slot?
+
+        False when the pool is at capacity, or when taking the slot
+        would leave another app's unmet reservation floor unsatisfiable
+        (the floor capacity stays reserved for its owner).
+        """
+        if self.pool_capacity is None:
+            return True
+        total = self._total_pool()
+        if total >= self.pool_capacity:
+            return False
+        # Unmet floors count actual spares only (pooled + pre-booting).
+        # pool_size() also counts a pending demand cold boot, which is
+        # not a warm slot — using it would let another tenant grab the
+        # very capacity the floor still needs.
+        reserved = sum(
+            max(
+                0,
+                floor
+                - len(self._pool.get(app, ()))
+                - len(self._pool_boots.get(app, ())),
+            )
+            for app, floor in self.pool_floors.items()
+            if app != app_id
+        )
+        return total + 1 + reserved <= self.pool_capacity
+
+    def _note_pool(self, app_id: str) -> None:
+        """Report the app's warm-slot count to the tenancy ledger."""
+        tenancy = getattr(self.env, "tenancy", None)
+        if tenancy is not None:
+            tenancy.pool_set(
+                app_id,
+                len(self._pool.get(app_id, ()))
+                + len(self._pool_boots.get(app_id, ())),
+            )
 
     def _preboot_proc(self, runtime: RuntimeEnvironment) -> Generator:
         with trace_span(self.env, "preboot", who=runtime.instance_id):
@@ -374,6 +427,7 @@ class Dispatcher:
         metrics = metrics_of(self.env)
         if metrics is not None:
             metrics.gauge("sched.pool_size").set(self._total_pool())
+        self._note_pool(app_id)
         self._wake_waiters(boot)
 
     def _pool_take(self, app_id: str) -> Optional[ContainerRecord]:
@@ -386,6 +440,7 @@ class Dispatcher:
                 spares = None
             if record.runtime.is_ready:
                 self._count_pool_hit()
+                self._note_pool(app_id)
                 return record
         return None
 
@@ -397,6 +452,7 @@ class Dispatcher:
             if not spares:
                 del self._pool[app_id]
         self._count_pool_hit()
+        self._note_pool(app_id)
         return record
 
     def _count_pool_hit(self) -> None:
@@ -427,6 +483,7 @@ class Dispatcher:
                 if metrics is not None:
                     metrics.counter("sched.pool_drained").inc()
                     metrics.gauge("sched.pool_size").set(self._total_pool())
+                self._note_pool(app_id)
                 return True
         return False
 

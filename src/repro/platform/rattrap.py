@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 from ..android.customize import CustomizedOS, customize_os
 from ..android.image import build_android_image
 from ..hostos.server import CloudServer
+from ..obs import metrics_of
 from ..offload.messages import KB
 from ..offload.request import OffloadRequest
 from ..runtime.base import RuntimeEnvironment
@@ -190,7 +191,11 @@ class RattrapPlatform(CloudPlatform):
             # bytes are already resident.
             key = f"req-{request.request_id}"
             fresh = self.shared_layer.offload_io.stage(
-                key, payload, now=self.env.now, digest=request.payload_digest
+                key,
+                payload,
+                now=self.env.now,
+                digest=request.payload_digest,
+                tenant=request.app_id,
             )
             if not fresh:
                 return
@@ -224,12 +229,62 @@ class RattrapPlatform(CloudPlatform):
 
     # -------------------------------------------------------- access control
     def admit(self, request: OffloadRequest) -> AccessDecision:
+        if request.requested_permissions is not None:
+            return self.access.admit(
+                request.app_id, request.requested_permissions, now=self.env.now
+            )
         return self.access.admit(request.app_id, now=self.env.now)
 
     def admission_delay_s(self, request: OffloadRequest) -> float:
+        delay = 0.0
         if self.access.analysis_needed(request.app_id):
-            return self.access.analysis_time_s
-        return 0.0
+            delay = self.access.analysis_time_s
+        return delay + self.access.admission_penalty_s(request.app_id, self.env.now)
+
+    def filter_workflow(
+        self, request: OffloadRequest, runtime: RuntimeEnvironment
+    ) -> Generator:
+        """Run the request's declared workflow through the access filter.
+
+        Every inspected operation costs ``filter_cost_s`` of host CPU —
+        the analysis engine is itself a shared resource, which is what a
+        permission-violation storm exploits when blocking is disabled.
+        Violations land on the app's shared table (and, when attached,
+        the tenancy ledger); once the app crosses its threshold the rest
+        of the workflow is skipped.
+        """
+        access = self.access
+        env = self.env
+        violations = 0
+        inspected = 0
+        blocked = False
+        for operation in request.operations:
+            inspected += 1
+            if access.filter_cost_s:
+                yield self.server.cpu.execute(
+                    access.filter_cost_s,
+                    speed_factor=runtime.cpu_speed_factor,
+                    tag="access.filter",
+                )
+            decision = access.filter_operation(
+                request.app_id, operation, now=env.now
+            )
+            if decision.allowed:
+                continue
+            violations += 1
+            if access.is_blocked(request.app_id, now=env.now):
+                blocked = True
+                break
+        tenancy = env.tenancy
+        if violations:
+            metrics = metrics_of(env)
+            if metrics is not None:
+                metrics.counter("access.violations").inc(violations)
+            if tenancy is not None:
+                tenancy.account_violations(request.app_id, violations)
+        if tenancy is not None and access.filter_cost_s and inspected:
+            tenancy.account_cpu(request.app_id, access.filter_cost_s * inspected)
+        return blocked
 
     # -------------------------------------------------------------- shutdown
     def shutdown(self) -> list:

@@ -219,6 +219,14 @@ class PredictiveConfig:
     tail_aware: bool = True
     #: samples of dispatch.pending_boots kept for the trend boost
     trend_window: int = 5
+    #: node-wide cap on warm slots across all apps (spares + in-flight
+    #: pre-boots); None = unbounded.  The multi-tenant guardrail: a
+    #: squatter inflating its own forecast cannot grow the pool past it
+    pool_capacity: Optional[int] = None
+    #: per-app reservation floors as (app_id, floor) pairs — under
+    #: capacity contention each floor's capacity stays reserved for its
+    #: owner, and the owner keeps at least that many runtimes warm
+    pool_floors: tuple = ()
 
 
 class WarmPoolPredictor:
@@ -279,14 +287,17 @@ class WarmPoolPredictor:
     def target_pool(self, app_id: str) -> int:
         """Warm runtimes the forecast wants for an app right now."""
         cfg = self.cfg
+        floor = self.platform.dispatcher.pool_floors.get(app_id, 0)
         demand = self.rates.rate(app_id) * self.boot_estimate_s() * cfg.headroom
         held = (
             app_id in self._last_arrival
             and self.platform.env.now - self._last_arrival[app_id] <= cfg.hold_s
         )
         if demand < cfg.low_watermark and not held:
-            return 0
-        target = max(1, math.ceil(demand))
+            # A reservation floor keeps its owner warm even after the
+            # demand estimate decays — that is the guarantee.
+            return min(floor, cfg.max_pool)
+        target = max(1, math.ceil(demand), floor)
         trend = self.pending_boots_trend()
         if trend > 0:
             # Boots are piling up faster than they settle: a cold wave
@@ -297,17 +308,31 @@ class WarmPoolPredictor:
     def protected_cids(self) -> Set[str]:
         """Runtimes the idle reaper must spare: pool members, plus up to
         ``target_pool`` idle warm runtimes per app (pool-by-retention —
-        cheaper than reaping a warm runtime only to re-boot a spare)."""
+        cheaper than reaping a warm runtime only to re-boot a spare).
+
+        With a ``pool_capacity`` the retained runtimes count against the
+        same budget as pooled spares, reservation-floor owners first —
+        retention cannot become a back door around the capacity a
+        squatter is being held to.
+        """
         dispatcher = self.platform.dispatcher
         out = set(dispatcher.pooled_cids())
         db = self.platform.db
-        for app_id in self.rates.apps():
+        capacity = dispatcher.pool_capacity
+        budget = math.inf if capacity is None else max(0, capacity - len(out))
+        floors = dispatcher.pool_floors
+        apps = sorted(self.rates.apps(), key=lambda a: -floors.get(a, 0))
+        for app_id in apps:
+            if budget <= 0:
+                break
             need = self.target_pool(app_id) - dispatcher.pool_spares(app_id)
             if need <= 0:
                 continue
+            need = int(min(need, budget))
             for record in db.with_app(app_id):
                 if record.active_requests == 0 and record.cid not in out:
                     out.add(record.cid)
+                    budget -= 1
                     need -= 1
                     if need == 0:
                         break

@@ -18,8 +18,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..android.customize import CustomizedOS
+from ..faults.errors import ResourceExhausted
 from ..obs import metrics_of
 from ..unionfs import Layer
+from .tenancy import tenancy_of
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hostos.server import CloudServer
@@ -66,6 +68,15 @@ class OffloadingIOLayer:
         #: content-addressed sharing effectiveness
         self.dedup_hits = 0
         self.dedup_bytes_saved = 0
+        #: per-tenant logical residency (only populated when stage() is
+        #: called with a tenant — the multi-tenant accounting path)
+        self._tenant_resident: Dict[str, int] = {}
+        #: per-tenant FIFO of staged keys (quota eviction order)
+        self._tenant_keys: Dict[str, List[str]] = {}
+        self._key_tenant: Dict[str, str] = {}
+        #: residency-quota enforcement totals
+        self.quota_evictions = 0
+        self.quota_evicted_bytes = 0
 
     def _metrics(self):
         return metrics_of(self.env) if self.env is not None else None
@@ -76,10 +87,18 @@ class OffloadingIOLayer:
         nbytes: int,
         now: float = 0.0,
         digest: Optional[str] = None,
+        tenant: str = "",
     ) -> bool:
         """Stage one request's payload; returns True when the bytes had
         to be materialized, False on a content-addressed hit (the
-        caller can skip the tmpfs write entirely)."""
+        caller can skip the tmpfs write entirely).
+
+        ``tenant`` attributes the logical residency to an app for
+        per-tenant accounting; under an enforcing
+        :class:`~repro.platform.tenancy.TenancyManager` with a
+        ``residency_quota_bytes``, staging past the quota burns the
+        tenant's own oldest entries first.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if request_key in self._requests:
@@ -106,8 +125,21 @@ class OffloadingIOLayer:
                 metrics.counter("io.staged_bytes").inc(nbytes)
                 metrics.counter("io.dedup_hits").inc()
                 metrics.counter("io.dedup_bytes_saved").inc(nbytes)
+            self._note_staged(request_key, nbytes, tenant, dedup=True)
             return False
-        self.device.allocate(nbytes)
+        tenancy = tenancy_of(self.env)
+        try:
+            self.device.allocate(nbytes)
+        except IOError:
+            if tenancy is not None:
+                # Under tenancy a full staging area is a recoverable
+                # platform condition (likely abuse-driven): surface it
+                # through the fault taxonomy so retry/backoff and local
+                # fallback apply instead of crashing the run.
+                raise ResourceExhausted(
+                    "tmpfs-staging", f"cannot stage {nbytes} bytes"
+                ) from None
+            raise
         self._entries[digest] = [1, nbytes]
         self._requests[request_key] = (digest, nbytes)
         self._resident += nbytes
@@ -117,7 +149,47 @@ class OffloadingIOLayer:
         if metrics is not None:
             metrics.counter("io.staged_bytes").inc(nbytes)
             metrics.gauge("io.resident_bytes").set(self._resident)
+        self._note_staged(request_key, nbytes, tenant, dedup=False)
         return True
+
+    def _note_staged(
+        self, request_key: str, nbytes: int, tenant: str, dedup: bool
+    ) -> None:
+        """Tenant-side bookkeeping for one staged request (no-op untagged)."""
+        if not tenant:
+            return
+        self._key_tenant[request_key] = tenant
+        self._tenant_keys.setdefault(tenant, []).append(request_key)
+        self._tenant_resident[tenant] = self._tenant_resident.get(tenant, 0) + nbytes
+        tenancy = tenancy_of(self.env)
+        if tenancy is not None:
+            tenancy.residency_set(tenant, self._tenant_resident[tenant])
+            if dedup:
+                tenancy.account_dedup(tenant, nbytes)
+            self._enforce_quota(tenant, request_key, tenancy)
+
+    def _enforce_quota(self, tenant: str, newest_key: str, tenancy) -> None:
+        """Burn the tenant's oldest entries while it sits over quota."""
+        if not tenancy.cfg.enforce:
+            return
+        quota = tenancy.cfg.residency_quota_bytes
+        if quota is None:
+            return
+        metrics = self._metrics()
+        while self._tenant_resident.get(tenant, 0) > quota:
+            keys = self._tenant_keys.get(tenant)
+            if not keys or keys[0] == newest_key:
+                # A single over-quota payload stays until its own burn;
+                # eviction only reclaims *other* entries of the tenant.
+                break
+            victim = keys[0]
+            nbytes = self.burn(victim)
+            self.quota_evictions += 1
+            self.quota_evicted_bytes += nbytes
+            tenancy.account_eviction(tenant, nbytes)
+            if metrics is not None:
+                metrics.counter("io.quota_evictions").inc()
+                metrics.counter("io.quota_evicted_bytes").inc(nbytes)
 
     def burn(self, request_key: str) -> int:
         """'Burn after reading': drop a request's reference; the bytes
@@ -140,7 +212,29 @@ class OffloadingIOLayer:
         self.total_burned += nbytes
         if metrics is not None:
             metrics.counter("io.burned_bytes").inc(nbytes)
+        tenant = self._key_tenant.pop(request_key, "")
+        if tenant:
+            keys = self._tenant_keys.get(tenant)
+            if keys is not None:
+                try:
+                    keys.remove(request_key)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not keys:
+                    del self._tenant_keys[tenant]
+            left = self._tenant_resident.get(tenant, 0) - nbytes
+            if left > 0:
+                self._tenant_resident[tenant] = left
+            else:
+                self._tenant_resident.pop(tenant, None)
+            tenancy = tenancy_of(self.env)
+            if tenancy is not None:
+                tenancy.residency_set(tenant, max(0, left))
         return nbytes
+
+    def tenant_resident_bytes(self, tenant: str) -> int:
+        """Logical staged bytes currently attributed to one tenant."""
+        return self._tenant_resident.get(tenant, 0)
 
     def has_staged(self, request_key: str) -> bool:
         """Is this request's payload currently resident?  (O(1))."""

@@ -68,6 +68,10 @@ class Environment:
         #: the attached Observability (tracer + metrics registry), if
         #: any — None keeps every instrumentation site on its fast path
         self.obs: Optional[Any] = None
+        #: the attached TenancyManager, if any (set by
+        #: repro.platform.tenancy) — None disables per-tenant
+        #: accounting and every isolation countermeasure
+        self.tenancy: Optional[Any] = None
         factory = type(self).obs_factory
         if factory is not None:
             factory(self)

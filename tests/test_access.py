@@ -1,0 +1,250 @@
+"""Dedicated coverage for the Request-based Access Controller.
+
+The paper's semantics (one analysis per app, shared permission table,
+permanent block at the violation threshold) plus the graduated
+enforcement extensions: violation decay windows, finite blocks with
+geometric escalation, the post-block admission throttle, per-app
+thresholds, and cluster blocklist sync.
+"""
+
+import math
+
+import pytest
+
+from repro.platform import RattrapPlatform
+from repro.platform.access import (
+    FORBIDDEN_OPERATIONS,
+    KNOWN_PERMISSIONS,
+    RequestAccessController,
+)
+from repro.platform.cluster import ClusterPlatform
+from repro.sim import Environment
+
+
+# ---------------------------------------------------------------- paper rules
+def test_one_analysis_per_app_shared_table():
+    ac = RequestAccessController()
+    assert ac.analysis_needed("app")
+    assert ac.admit("app").allowed
+    assert not ac.analysis_needed("app")
+    assert ac.admit("app").allowed
+    assert ac.analyses == 1
+    table = ac.table_for("app")
+    assert table is not None and table.app_id == "app"
+
+
+def test_grants_intersect_known_permissions():
+    ac = RequestAccessController()
+    ac.admit("app", requested_permissions=frozenset({"cpu.execute", "not.a.permission"}))
+    table = ac.table_for("app")
+    assert table.granted == {"cpu.execute"}
+    assert table.granted <= KNOWN_PERMISSIONS
+
+
+def test_filter_requires_admission_first():
+    ac = RequestAccessController()
+    with pytest.raises(KeyError):
+        ac.filter_operation("ghost", "cpu.execute")
+
+
+def test_forbidden_and_ungranted_operations_denied():
+    ac = RequestAccessController(violation_threshold=100)
+    ac.admit("app", requested_permissions=frozenset({"cpu.execute"}))
+    for op in sorted(FORBIDDEN_OPERATIONS):
+        assert not ac.filter_operation("app", op).allowed
+    # granted op passes, ungranted-but-known op is a violation
+    assert ac.filter_operation("app", "cpu.execute").allowed
+    assert not ac.filter_operation("app", "net.outbound").allowed
+    assert ac.table_for("app").violations == len(FORBIDDEN_OPERATIONS) + 1
+
+
+def test_permanent_block_at_threshold_default():
+    ac = RequestAccessController(violation_threshold=2)
+    ac.admit("mal")
+    ac.filter_operation("mal", "devns.escape")
+    decision = ac.filter_operation("mal", "devns.escape")
+    assert not decision.allowed and "blocked after 2 violations" in decision.reason
+    assert ac.is_blocked("mal")
+    assert ac.table_for("mal").blocked_until == math.inf
+    # paper's one-way semantics: still blocked arbitrarily far out
+    assert ac.is_blocked("mal", now=1e9)
+    assert not ac.admit("mal", now=1e9).allowed
+    assert ac.blocked_apps() == ["mal"]
+
+
+def test_per_app_threshold_overrides_global():
+    ac = RequestAccessController(
+        violation_threshold=5, per_app_thresholds={"strict": 1}
+    )
+    ac.admit("strict")
+    ac.admit("lax")
+    assert ac.threshold_for("strict") == 1
+    assert ac.threshold_for("lax") == 5
+    ac.filter_operation("strict", "devns.escape")
+    ac.filter_operation("lax", "devns.escape")
+    assert ac.is_blocked("strict")
+    assert not ac.is_blocked("lax")
+
+
+def test_set_threshold_validation():
+    ac = RequestAccessController()
+    with pytest.raises(ValueError):
+        ac.set_threshold("app", 0)
+    with pytest.raises(ValueError):
+        RequestAccessController(violation_threshold=0)
+    with pytest.raises(ValueError):
+        RequestAccessController(decay_window_s=0.0)
+    with pytest.raises(ValueError):
+        RequestAccessController(block_s=-1.0)
+    with pytest.raises(ValueError):
+        RequestAccessController(block_escalation=0.5)
+    with pytest.raises(ValueError):
+        RequestAccessController(throttle_penalty_s=-0.1)
+    with pytest.raises(ValueError):
+        RequestAccessController(filter_cost_s=-0.1)
+
+
+# ------------------------------------------------------------ decay + windows
+def test_violation_decay_window_forgives_old_violations():
+    ac = RequestAccessController(violation_threshold=3, decay_window_s=10.0)
+    ac.admit("spiky")
+    ac.filter_operation("spiky", "devns.escape", now=0.0)
+    ac.filter_operation("spiky", "devns.escape", now=1.0)
+    # 20s later the first two violations decayed; this is 1-of-3 again
+    decision = ac.filter_operation("spiky", "devns.escape", now=21.0)
+    assert not decision.allowed and not ac.is_blocked("spiky", now=21.0)
+    assert ac.table_for("spiky").violations == 1
+
+
+def test_sustained_violations_still_block_under_decay():
+    ac = RequestAccessController(violation_threshold=3, decay_window_s=10.0)
+    ac.admit("mal")
+    for t in (0.0, 1.0, 2.0):
+        ac.filter_operation("mal", "devns.escape", now=t)
+    assert ac.is_blocked("mal", now=2.0)
+
+
+def test_finite_block_window_expires_and_escalates():
+    ac = RequestAccessController(
+        violation_threshold=1, block_s=10.0, block_escalation=2.0
+    )
+    ac.admit("mal")
+    ac.filter_operation("mal", "devns.escape", now=0.0)
+    assert ac.is_blocked("mal", now=5.0)
+    assert not ac.is_blocked("mal", now=10.0)  # first window: 10s
+    # repeat offense: window doubles (offenses=2 -> 20s)
+    ac.filter_operation("mal", "devns.escape", now=11.0)
+    assert ac.table_for("mal").offenses == 2
+    assert ac.is_blocked("mal", now=30.0)
+    assert not ac.is_blocked("mal", now=31.0)
+
+
+def test_served_window_wipes_violation_slate():
+    ac = RequestAccessController(violation_threshold=2, block_s=5.0)
+    ac.admit("mal")
+    ac.filter_operation("mal", "devns.escape", now=0.0)
+    ac.filter_operation("mal", "devns.escape", now=0.0)
+    assert ac.is_blocked("mal", now=1.0)
+    # after the window one violation is not enough to re-block
+    decision = ac.filter_operation("mal", "devns.escape", now=6.0)
+    assert not decision.allowed
+    assert not ac.is_blocked("mal", now=6.0)
+
+
+# --------------------------------------------------------------- throttling
+def test_throttle_penalty_after_served_block():
+    ac = RequestAccessController(
+        violation_threshold=1, block_s=5.0, throttle_penalty_s=0.5
+    )
+    ac.admit("mal", now=0.0)
+    assert ac.admission_penalty_s("mal", now=0.0) == 0.0
+    ac.filter_operation("mal", "devns.escape", now=0.0)
+    assert ac.state_of("mal", now=1.0) == "blocked"
+    assert ac.admission_penalty_s("mal", now=1.0) == 0.0  # blocked, not throttled
+    assert ac.state_of("mal", now=6.0) == "throttled"
+    assert ac.admission_penalty_s("mal", now=6.0) == pytest.approx(0.5)
+    # second served offense doubles the probation penalty
+    ac.filter_operation("mal", "devns.escape", now=7.0)
+    assert ac.admission_penalty_s("mal", now=100.0) == pytest.approx(1.0)
+
+
+def test_unblock_resets_everything():
+    ac = RequestAccessController(violation_threshold=1, throttle_penalty_s=0.5)
+    ac.admit("mal")
+    ac.filter_operation("mal", "devns.escape")
+    assert ac.is_blocked("mal")
+    ac.unblock("mal")
+    assert not ac.is_blocked("mal")
+    table = ac.table_for("mal")
+    assert table.offenses == 0 and table.violations == 0
+    assert ac.state_of("mal") == "ok"
+    assert ac.admit("mal").allowed
+
+
+def test_blocked_app_filter_denies_without_recording():
+    ac = RequestAccessController(violation_threshold=1)
+    ac.admit("mal")
+    ac.filter_operation("mal", "devns.escape")
+    before = ac.table_for("mal").violations
+    decision = ac.filter_operation("mal", "devns.escape")
+    assert not decision.allowed and decision.reason == "app is blocked"
+    assert ac.table_for("mal").violations == before
+
+
+# ---------------------------------------------------------- cluster sync
+def test_import_block_creates_table_and_never_shrinks():
+    ac = RequestAccessController(block_s=10.0)
+    ac.import_block("alien", now=0.0, blocked_until=50.0)
+    assert ac.is_blocked("alien", now=49.0)
+    assert ac.table_for("alien").granted == frozenset()
+    # a shorter imported window must not shrink the existing one
+    ac.import_block("alien", now=0.0, blocked_until=20.0)
+    assert ac.table_for("alien").blocked_until == 50.0
+    # default window derives from block_s (or permanent without one)
+    ac2 = RequestAccessController()
+    ac2.import_block("alien", now=5.0)
+    assert ac2.table_for("alien").blocked_until == math.inf
+
+
+def test_cluster_blocklist_sync_propagates_blocks():
+    env = Environment()
+    cluster = ClusterPlatform(
+        env,
+        servers=3,
+        platform_factory=lambda e: RattrapPlatform(
+            e,
+            access_controller=RequestAccessController(
+                violation_threshold=1, block_s=100.0
+            ),
+        ),
+    )
+    first = cluster.nodes[0].access
+    first.admit("mal", now=0.0)
+    first.filter_operation("mal", "devns.escape", now=0.0)
+    assert first.is_blocked("mal", now=0.0)
+    assert not cluster.nodes[1].access.is_blocked("mal", now=0.0)
+    blocked = cluster.sync_blocklists(now=0.0)
+    assert blocked == ["mal"]
+    for node in cluster.nodes:
+        assert node.access.is_blocked("mal", now=0.0)
+        assert not node.access.is_blocked("mal", now=200.0)
+
+
+def test_background_blocklist_sync_process():
+    env = Environment()
+    cluster = ClusterPlatform(
+        env,
+        servers=2,
+        platform_factory=lambda e: RattrapPlatform(
+            e,
+            access_controller=RequestAccessController(violation_threshold=1),
+        ),
+    )
+    with pytest.raises(ValueError):
+        cluster.start_blocklist_sync(interval_s=0.0)
+    cluster.start_blocklist_sync(interval_s=1.0)
+    node = cluster.nodes[0].access
+    node.admit("mal", now=0.0)
+    node.filter_operation("mal", "devns.escape", now=0.0)
+    env.run(until=2.5)
+    assert cluster.nodes[1].access.is_blocked("mal", now=env.now)
