@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-compare experiments chaos abuse abuse-smoke \
-	scale predictive megascale megascale-smoke
+	scale predictive megascale megascale-smoke cachebench cachebench-smoke
 
 JOBS ?= 0
 
@@ -45,12 +45,22 @@ megascale:
 megascale-smoke:
 	$(PYTHON) -m repro.experiments.runner megascale --smoke --jobs $(JOBS)
 
+## Run the opt-in compute-result cache benchmark: repeat-heavy and
+## LiveLab-trace shapes, arms cache-off / node tier / cluster tier
+## (see docs/PERFORMANCE.md "Computation reuse").  The smoke variant
+## is the cheap CI configuration.
+cachebench:
+	$(PYTHON) -m repro.experiments.runner cachebench --jobs $(JOBS)
+
+cachebench-smoke:
+	$(PYTHON) -m repro.experiments.runner cachebench --smoke --jobs $(JOBS)
+
 ## Run every experiment plus the scale-family smoke configs and write
 ## BENCH_experiments.json with per-cell/per-experiment wall-clock and
 ## device throughput (JOBS=N to parallelize).
 bench:
 	$(PYTHON) -m repro.experiments.runner --jobs $(JOBS) --bench --smoke \
-		--extra scale --extra megascale
+		--extra scale --extra megascale --extra cachebench
 
 ## Re-measure the default suite and diff against the committed
 ## BENCH_experiments.json; exits 1 on a >25 % per-experiment regression.

@@ -95,9 +95,11 @@ def _ablate_dedup() -> Dict[str, float]:
         plans = generate_inflow(
             VIRUS_SCAN, devices=5, requests_per_device=20, seed=1
         )
-        if shared_digest:
+        # Requests inherit VIRUS_SCAN.payload_key automatically; the
+        # ablated arm strips the digests to force exclusive staging.
+        if not shared_digest:
             for plan in plans:
-                plan.request.payload_digest = "virus-db-v1"
+                plan.request.payload_digest = None
         run_inflow_experiment(env, platform, plans, make_link("lan-wifi"))
         return platform.shared_layer.offload_io
 

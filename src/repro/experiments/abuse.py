@@ -37,6 +37,7 @@ import numpy as np
 from ..analysis import render_table
 from ..faults import (
     AirtimeHog,
+    CacheSquatter,
     FaultInjector,
     FaultPlan,
     PermissionStorm,
@@ -49,6 +50,7 @@ from ..network.link import FlowLink
 from ..obs import Observability
 from ..offload import MobileDevice, RetryPolicy, replay_with_retry
 from ..platform import (
+    ComputeCacheConfig,
     PredictiveConfig,
     RattrapPlatform,
     RequestAccessController,
@@ -58,7 +60,7 @@ from ..platform import (
 )
 from ..platform.tenancy import render_attribution
 from ..sim import Environment
-from ..workloads import CHESS_GAME, OCR, generate_inflow
+from ..workloads import CHESS_GAME, OCR, VIRUS_SCAN, generate_inflow
 
 __all__ = ["run", "report", "cells", "merge", "SCENARIOS", "ARMS"]
 
@@ -67,6 +69,7 @@ SCENARIOS = (
     "permission-storm",
     "airtime-hog",
     "residency-squat",
+    "cache-squat",
     "pool-squat",
     "retry-amplifier",
 )
@@ -78,6 +81,7 @@ ATTRIBUTED_RESOURCE = {
     "permission-storm": "violations",
     "airtime-hog": "airtime_s",
     "residency-squat": "resident_bytes",
+    "cache-squat": "cache_bytes",
     "pool-squat": "pool_slots",
     "retry-amplifier": "violations",
 }
@@ -137,6 +141,8 @@ def _tenancy_config(scenario: str, arm: str) -> TenancyConfig:
         )
     if scenario == "residency-squat":
         return TenancyConfig(residency_quota_bytes=8 * 1024 * 1024)
+    if scenario == "cache-squat":
+        return TenancyConfig(cache_quota_bytes=64 * 1024)
     return TenancyConfig()
 
 
@@ -193,6 +199,15 @@ def _abuse_cell(
         platform.start_predictor()
         platform.start_idle_reaper(idle_timeout_s=15.0, check_interval_s=5.0)
         duration = 60.0 if smoke else 150.0
+    elif scenario == "cache-squat":
+        # Repeat-heavy victim: every clone scans the same database, so
+        # warm requests ride the compute cache — until a squatter evicts
+        # the entry.  Tiny capacity so the attack lands inside the run.
+        victim_profile = VIRUS_SCAN
+        think = 2.0
+        platform.enable_compute_cache(
+            ComputeCacheConfig(capacity_bytes=128 * 1024)
+        )
     else:
         victim_profile = OCR
         think = 2.0
@@ -281,6 +296,15 @@ def _adversary_for(scenario: str, ap, duration: float, smoke: bool):
             interval_s=0.25,
             duration_s=duration,
         )
+    if scenario == "cache-squat":
+        profile = OCR.derive("cachespam-app", cloud_cpu_s=1.0)
+        return CacheSquatter(
+            "cachespam-app",
+            profile,
+            chunk_kb=32.0,
+            interval_s=0.25,
+            duration_s=duration,
+        )
     if scenario == "pool-squat":
         return WarmPoolSquatter(
             "pool-app",
@@ -306,6 +330,7 @@ ADVERSARY_APP = {
     "permission-storm": "storm-app",
     "airtime-hog": "hog-app",
     "residency-squat": "squat-app",
+    "cache-squat": "cachespam-app",
     "pool-squat": "pool-app",
     "retry-amplifier": "retry-app",
 }

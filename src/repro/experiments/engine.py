@@ -52,7 +52,7 @@ __all__ = [
 #: (v2 adds per-experiment ``p99_wall_s`` over the cell wall-clocks;
 #: v3 adds ``devices``/``devices_per_s`` throughput for scale-family
 #: experiments whose cells report a ``devices`` count)
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -83,12 +83,16 @@ class CellTiming:
     ``devices`` is the simulated-device count the cell reported (cells
     returning a mapping with a ``"devices"`` entry — the scale family),
     or ``None`` for cells that don't model a device fleet.
+    ``cache_hit_rate`` is the compute-result cache hit fraction the
+    cell reported (cells returning a mapping with a ``"cache_hit_rate"``
+    entry — the cachebench family), or ``None`` for cache-less cells.
     """
 
     experiment: str
     key: Tuple[Any, ...]
     wall_s: float
     devices: Optional[int] = None
+    cache_hit_rate: Optional[float] = None
 
 
 def _devices_of(value: Any) -> Optional[int]:
@@ -97,6 +101,15 @@ def _devices_of(value: Any) -> Optional[int]:
         devices = value.get("devices")
         if isinstance(devices, int) and not isinstance(devices, bool):
             return devices
+    return None
+
+
+def _hit_rate_of(value: Any) -> Optional[float]:
+    """The cache hit rate a cell's return value reports, if any."""
+    if isinstance(value, Mapping):
+        rate = value.get("cache_hit_rate")
+        if isinstance(rate, (int, float)) and not isinstance(rate, bool):
+            return float(rate)
     return None
 
 
@@ -217,7 +230,13 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = 0) -> List[Any]:
     if _active_timings is not None:
         for cell, (value, wall_s) in zip(cells, outcomes):
             _active_timings.append(
-                CellTiming(cell.experiment, cell.key, wall_s, _devices_of(value))
+                CellTiming(
+                    cell.experiment,
+                    cell.key,
+                    wall_s,
+                    _devices_of(value),
+                    _hit_rate_of(value),
+                )
             )
     return [value for value, _ in outcomes]
 
@@ -237,8 +256,13 @@ def benchmark_payload(
     the scale family: per-cell ``devices`` (when the cell reported a
     fleet size), per-experiment ``devices`` (their sum) and
     ``devices_per_s`` (devices over summed cell wall-clock; ``null``
-    when no cell reported devices).  The schema is covered by a tier-1
-    smoke test so downstream tooling can trend wall-clock across PRs.
+    when no cell reported devices).  Schema v4 adds the compute-result
+    cache signal: per-cell ``cache_hit_rate`` (when the cell reported
+    one) and per-experiment ``cache_hit_rate`` — the unweighted mean
+    over reporting cells, ``null`` when none report (so the comparator
+    can trend cache effectiveness across PRs alongside throughput).
+    The schema is covered by a tier-1 smoke test so downstream tooling
+    can trend wall-clock across PRs.
     """
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -257,6 +281,7 @@ def _experiment_row(row: Mapping[str, Any]) -> Dict[str, Any]:
     device_cells = [t for t in timings if t.devices is not None]
     devices = sum(t.devices for t in device_cells) if device_cells else None
     device_wall = sum(t.wall_s for t in device_cells)
+    hit_rates = [t.cache_hit_rate for t in timings if t.cache_hit_rate is not None]
     return {
         "name": row["name"],
         "wall_s": row["wall_s"],
@@ -265,8 +290,16 @@ def _experiment_row(row: Mapping[str, Any]) -> Dict[str, Any]:
         "devices_per_s": (
             devices / device_wall if devices and device_wall > 0 else None
         ),
+        "cache_hit_rate": (
+            sum(hit_rates) / len(hit_rates) if hit_rates else None
+        ),
         "cells": [
-            {"key": list(t.key), "wall_s": t.wall_s, "devices": t.devices}
+            {
+                "key": list(t.key),
+                "wall_s": t.wall_s,
+                "devices": t.devices,
+                "cache_hit_rate": t.cache_hit_rate,
+            }
             for t in timings
         ],
     }

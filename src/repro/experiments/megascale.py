@@ -48,7 +48,12 @@ from ..network.scenarios import SCENARIOS
 from ..obs import Observability, merge_metrics_snapshots
 from ..offload.power import PowerModel
 from ..offload.request import OffloadRequest
-from ..platform import PopulationSource, PredictiveConfig, RattrapPlatform
+from ..platform import (
+    ComputeCacheConfig,
+    PopulationSource,
+    PredictiveConfig,
+    RattrapPlatform,
+)
 from ..platform.population import per_request_bytes
 from ..sim import Environment
 from ..sim.shard import ShardRunner, run_sharded
@@ -57,8 +62,8 @@ from ..workloads import VIRUS_SCAN
 __all__ = ["run", "report", "cells", "merge", "MEGA_ZONES", "MEGA_DEVICES_PER_ZONE"]
 
 SCENARIO = "lan-wifi"
-#: every clone scans against the same signature database (dedup hits)
-PAYLOAD_DIGEST = "virus-db-v1"
+#: every clone scans against the same signature database (dedup
+#: hits); requests inherit the digest from ``VIRUS_SCAN.payload_key``
 
 #: cross-shard backhaul: its latency IS the conservative sync window
 BACKHAUL_LATENCY_S = 0.25
@@ -105,7 +110,6 @@ def _request(zone: int, i: int, submitted_at: float) -> OffloadRequest:
         app_id=VIRUS_SCAN.name,
         profile=VIRUS_SCAN,
         submitted_at=submitted_at,
-        payload_digest=PAYLOAD_DIGEST,
     )
 
 
@@ -133,6 +137,9 @@ def _calibrate(seed: int = 1) -> Dict[str, float]:
     exactly like an anchor zone.  The warm request's response time and
     energy are the mesoscale ``base_response_s`` / per-request energy —
     calibration *from the discrete model*, not hand-tuned constants.
+
+    A third leg enables the compute cache and measures one stored-then
+    -hit pair: the hit's response is the mesoscale ``hit_response_s``.
     """
     env = Environment()
     platform = RattrapPlatform(env, optimized=True, dispatch_policy="app-affinity")
@@ -143,13 +150,21 @@ def _calibrate(seed: int = 1) -> Dict[str, float]:
         out["cold"] = yield platform.submit(_request(0, 0, 0.0), ap)
         yield env.timeout(ANCHOR_GAP_S)
         out["warm"] = yield platform.submit(_request(0, 1, env.now), ap)
+        platform.enable_compute_cache(ComputeCacheConfig(adaptive=False))
+        yield env.timeout(ANCHOR_GAP_S)
+        out["store"] = yield platform.submit(_request(0, 2, env.now), ap)
+        yield env.timeout(ANCHOR_GAP_S)
+        out["hit"] = yield platform.submit(_request(0, 3, env.now), ap)
 
     env.run(until=env.process(driver(env)))
     warm = out["warm"]
+    assert out["hit"].result_cache_hit
     return {
         "base_response_s": warm.response_time,
         "energy_j": _energy_j(warm),
         "cold_response_s": out["cold"].response_time,
+        "hit_response_s": out["hit"].response_time,
+        "hit_energy_j": _energy_j(out["hit"]),
         "bytes_up": warm.bytes_up,
         "bytes_down": warm.bytes_down,
     }
@@ -288,6 +303,11 @@ class _Zone:
         if spec.get("predictive"):
             self.platform.enable_predictive(PredictiveConfig(hold_s=3600.0))
             self.platform.start_predictor()
+        if spec.get("cache"):
+            # Node-tier result cache: the zone's tracers share one
+            # digest, so the adaptive admission self-primes (first
+            # sighting ghosts, second stores, the rest hit).
+            self.platform.enable_compute_cache()
         params = dict(SCENARIOS[SCENARIO])
         self.aps = [
             FlowLink(
@@ -331,6 +351,8 @@ class _Zone:
                 capacity_req_s=pspec["capacity_req_s"],
                 predictor=self.platform.predictor,
                 name=f"z{self.zone_id}-pop",
+                cache_hit_rate=pspec.get("cache_hit_rate", 0.0),
+                hit_response_s=pspec.get("hit_response_s"),
             )
             self.population.start()
         env.process(self._feeder(env))
@@ -415,6 +437,11 @@ class _Zone:
             "runtimes": self.platform.runtime_count(),
             "preboots": self.platform.dispatcher.preboots,
             "population": pop.summary() if pop else None,
+            "compute_cache": (
+                self.platform.compute_cache.stats()
+                if self.platform.compute_cache is not None
+                else None
+            ),
         }
 
 
@@ -515,9 +542,19 @@ def _identity_cell(seed: int = 1) -> Dict[str, Any]:
 # -- mega: the 1M-device headline ---------------------------------------------
 
 def _mega_zone_specs(
-    zones: int, devices_per_zone: int, seed: int, base_response_s: float
+    zones: int,
+    devices_per_zone: int,
+    seed: int,
+    base_response_s: float,
+    hit_response_s: Optional[float] = None,
 ) -> tuple:
-    """Zone specs plus the analytic horizon for a megascale run."""
+    """Zone specs plus the analytic horizon for a megascale run.
+
+    With ``hit_response_s`` the zones carry a node-tier compute cache
+    and the populations the matching hit-rate closed form: the zone's
+    discrete tracers make the shared digest resident before the
+    population starts, so every aggregate request is a hit.
+    """
     tracers = max(1, devices_per_zone // TRACER_FRACTION)
     pop_n = devices_per_zone - tracers
     rho = min(POP_RATE_S, POP_CAPACITY_S)
@@ -525,6 +562,16 @@ def _mega_zone_specs(
     tracer_last = max(pop_end - 40.0, 10.0)
     tracer_rate = tracers / tracer_last
     horizon = pop_end + 40.0
+    population: Dict[str, Any] = {
+        "n": pop_n,
+        "rate_req_s": POP_RATE_S,
+        "start_s": POP_START_S,
+        "base_response_s": base_response_s,
+        "capacity_req_s": POP_CAPACITY_S,
+    }
+    if hit_response_s is not None:
+        population["cache_hit_rate"] = 1.0
+        population["hit_response_s"] = hit_response_s
     specs = [
         {
             "zone": z,
@@ -535,13 +582,8 @@ def _mega_zone_specs(
             "roam_to": (z + 1) % zones if zones > 1 else None,
             "roam_every": ROAM_EVERY,
             "predictive": True,
-            "population": {
-                "n": pop_n,
-                "rate_req_s": POP_RATE_S,
-                "start_s": POP_START_S,
-                "base_response_s": base_response_s,
-                "capacity_req_s": POP_CAPACITY_S,
-            },
+            "cache": hit_response_s is not None,
+            "population": dict(population),
         }
         for z in range(zones)
     ]
@@ -554,7 +596,11 @@ def _mega_cell(
     """One megascale run: Z zones, one per shard, mesoscale + tracers."""
     cal = _calibrate(seed)
     zone_specs, horizon = _mega_zone_specs(
-        zones, devices_per_zone, seed, cal["base_response_s"]
+        zones,
+        devices_per_zone,
+        seed,
+        cal["base_response_s"],
+        hit_response_s=cal["hit_response_s"],
     )
     wall0 = time.perf_counter()
     summaries = _run_packing(
@@ -581,7 +627,14 @@ def _mega_cell(
         "roamers": sum(len(z["roamer_responses"]) for z in zsums),
         "preboots": sum(z["preboots"] for z in zsums),
         "runtimes": sum(z["runtimes"] for z in zsums),
+        "cache_hits": (
+            sum(z["population"]["cache_hits"] for z in zsums if z["population"])
+            + sum(
+                z["compute_cache"]["hits"] for z in zsums if z["compute_cache"]
+            )
+        ),
         "base_response_s": cal["base_response_s"],
+        "hit_response_s": cal["hit_response_s"],
         "mean_response_s": (
             sum(z["population"]["mean_response_s"] for z in zsums) / len(zsums)
         ),
@@ -706,7 +759,9 @@ def report(data: Dict[str, Dict[str, Any]]) -> str:
         f"({mega['events']} kernel events for {mega['completed']} requests — "
         f"{mega['completed'] / max(mega['events'], 1):.0f} requests per event); "
         f"mean population response {mega['mean_response_s']:.2f}s "
-        f"(warm base {mega['base_response_s']:.2f}s), "
+        f"(warm base {mega['base_response_s']:.2f}s, cache hit "
+        f"{mega['hit_response_s']:.2f}s), "
+        f"{mega['cache_hits']} requests served from the compute cache, "
         f"{mega['roamers']} roamers crossed shards, "
         f"{mega['preboots']} predictive preboots from aggregate arrivals"
     )

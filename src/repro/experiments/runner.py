@@ -27,6 +27,7 @@ from . import (
     ablations,
     abuse,
     battery,
+    cachebench,
     chaos,
     density,
     fig1_phases,
@@ -84,6 +85,7 @@ EXTRA_EXPERIMENTS: Dict[str, Tuple[object, str]] = {
     "scale": (scale, "extension: 1k-10k device scale-out ramp"),
     "predictive": (predictive, "extension: predictive warm-pool vs reactive"),
     "megascale": (megascale, "extension: 1M devices on the sharded kernel"),
+    "cachebench": (cachebench, "extension: compute-result cache off/node/cluster"),
 }
 
 

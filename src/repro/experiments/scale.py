@@ -54,8 +54,8 @@ ACCESS_POINTS = 64
 #: open-loop arrival rate; 10 req/s x 2.3 cpu_s ≈ 64 % of the fleet's
 #: 36 cores, so the cluster stays loaded but never melts down
 ARRIVAL_RATE_S = 10.0
-#: every clone scans against the same signature database
-PAYLOAD_DIGEST = "virus-db-v1"
+#: every clone scans against the same signature database; requests
+#: inherit the digest from ``VIRUS_SCAN.payload_key`` automatically
 
 #: --predictive comparison: arrival waves separated by more than the
 #: idle-reaper timeout, so the reactive cluster pays a fresh cold-boot
@@ -102,7 +102,6 @@ def _scale_cell(devices: int, seed: int = 1) -> Dict[str, Any]:
             app_id=VIRUS_SCAN.name,
             profile=VIRUS_SCAN,
             submitted_at=i / ARRIVAL_RATE_S,
-            payload_digest=PAYLOAD_DIGEST,
         )
         for i in range(devices)
     ]
@@ -181,7 +180,6 @@ def _predictive_cell(arm: str, seed: int = 1) -> Dict[str, Any]:
             profile=VIRUS_SCAN,
             seq_on_device=wave,
             submitted_at=wave * WAVE_GAP_S + d / WAVE_RATE_S,
-            payload_digest=PAYLOAD_DIGEST,
         )
         for wave in range(WAVES)
         for d in range(WAVE_DEVICES)

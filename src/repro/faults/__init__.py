@@ -12,6 +12,7 @@ cluster failover, client retry — turns them back into served requests.
 from .adversaries import (
     Adversary,
     AirtimeHog,
+    CacheSquatter,
     PermissionStorm,
     ResidencySquatter,
     RetryAmplifier,
@@ -43,6 +44,7 @@ __all__ = [
     "PermissionStorm",
     "AirtimeHog",
     "ResidencySquatter",
+    "CacheSquatter",
     "WarmPoolSquatter",
     "RetryAmplifier",
 ]

@@ -12,6 +12,9 @@ the platform:
   parallel bulk flows, starving honest tenants of airtime;
 - :class:`ResidencySquatter` — stages unique payloads into the shared
   tmpfs offloading layer and never burns them;
+- :class:`CacheSquatter` — floods the compute-result cache with forged
+  repeat-looking junk, ghost-priming the adaptive admission estimator
+  so every offer looks worth caching;
 - :class:`WarmPoolSquatter` — fakes arrival-rate demand so the warm
   pool pre-boots containers for an app that never shows up;
 - :class:`RetryAmplifier` — a zero-backoff closed loop that resubmits
@@ -43,6 +46,7 @@ __all__ = [
     "PermissionStorm",
     "AirtimeHog",
     "ResidencySquatter",
+    "CacheSquatter",
     "WarmPoolSquatter",
     "RetryAmplifier",
 ]
@@ -241,6 +245,79 @@ class ResidencySquatter(Adversary):
                 io.stage(key, self.chunk_bytes, now=env.now, tenant=self.app_id)
                 self.actions += 1
             except (ResourceExhausted, IOError):
+                self.denied += 1
+            i += 1
+            yield env.timeout(self.interval_s)
+
+
+class CacheSquatter(Adversary):
+    """Floods the compute-result cache with forged repeat-looking junk.
+
+    Each interval it fabricates a fresh unique-digest request, looks it
+    up *twice* — the second lookup finds the first's ghost, so the
+    adaptive admission estimator sees the app as repeat-heavy — then
+    offers a result with an inflated ``execute_s`` so admission always
+    looks worthwhile.  Without a per-tenant cache quota the junk LRU-
+    evicts honest tenants' hot entries and their requests fall back to
+    full execution; with a quota the squatter only ever burns its own
+    oldest entries and the victims' hits survive.
+    """
+
+    kind = "cache-squat"
+
+    def __init__(
+        self,
+        app_id: str,
+        profile: "WorkloadProfile",
+        node_index: int = 0,
+        chunk_kb: float = 32.0,
+        execute_s: float = 30.0,
+        interval_s: float = 0.25,
+        start_s: float = 0.0,
+        duration_s: float = 30.0,
+    ):
+        super().__init__(app_id, start_s=start_s, duration_s=duration_s)
+        if chunk_kb <= 0:
+            raise ValueError("chunk_kb must be positive")
+        if execute_s <= 0:
+            raise ValueError("execute_s must be positive")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.profile = profile
+        self.node_index = node_index
+        self.chunk_bytes = int(chunk_kb * 1024)
+        self.execute_s = execute_s
+        self.interval_s = interval_s
+
+    def run(self, env: "Environment", injector: "FaultInjector") -> Generator:
+        """Ghost-prime then offer one forged digest per interval."""
+        node = injector.node(self.node_index)
+        cache = getattr(node, "compute_cache", None)
+        if cache is None:
+            return
+        i = 0
+        end = yield from self._window(env)
+        while env.now < end:
+            request = OffloadRequest(
+                request_id=ADVERSARY_REQUEST_BASE + i,
+                device_id=f"adv-{self.app_id}",
+                app_id=self.app_id,
+                profile=self.profile,
+                submitted_at=env.now,
+                seq_on_device=i,
+                payload_digest=f"squat-{self.app_id}-{i}",
+            )
+            cache.lookup(request)  # first sighting lands in the ghosts
+            cache.lookup(request)  # second raises the app's repeat EWMA
+            cache.offer(
+                request,
+                execute_s=self.execute_s,
+                nbytes=self.chunk_bytes,
+                now=env.now,
+            )
+            if cache.key_for(request) in cache:
+                self.actions += 1
+            else:
                 self.denied += 1
             i += 1
             yield env.timeout(self.interval_s)

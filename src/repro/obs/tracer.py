@@ -26,7 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Span", "Tracer", "PHASE_KINDS"]
 
 #: serve-path phase spans: together they tile a request's lifetime
-PHASE_KINDS: Tuple[str, ...] = ("connect", "prepare", "upload", "execute", "collect")
+#: (``cache_hit`` replaces ``execute`` when the compute cache serves
+#: the result, so the tiling property holds either way)
+PHASE_KINDS: Tuple[str, ...] = (
+    "connect", "prepare", "upload", "execute", "cache_hit", "collect"
+)
 
 
 class Span:

@@ -95,6 +95,9 @@ class OffloadRequest:
     #: permissions to request at admission; None uses the access
     #: controller's default grant set
     requested_permissions: Optional[FrozenSet[str]] = None
+    #: version of the app code this request runs against; part of the
+    #: compute-cache key, so a code push invalidates cached results
+    code_version: str = "v1"
 
     def __post_init__(self):
         if self.request_id < 0:
@@ -103,6 +106,12 @@ class OffloadRequest:
             raise ValueError("work_scale must be positive")
         if not self.trace_id:
             self.trace_id = f"{self.device_id}/{self.app_id}/{self.request_id}"
+        if self.payload_digest is None:
+            # Content identity comes for free: profiles whose payload
+            # is a shared artifact (e.g. the virus signature database)
+            # name it via ``payload_key``, so dedup and result caching
+            # are not opt-in at every construction site.
+            self.payload_digest = getattr(self.profile, "payload_key", None)
 
 
 @dataclass
@@ -115,6 +124,8 @@ class RequestResult:
     finished_at: float
     executed_on: str = ""  # runtime instance id (CID)
     code_cache_hit: bool = False
+    #: the compute cache served this result (execute phase skipped)
+    result_cache_hit: bool = False
     bytes_up: int = 0
     bytes_down: int = 0
     blocked: bool = False  # rejected by the access controller

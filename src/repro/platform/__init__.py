@@ -8,6 +8,13 @@ from .access import (
 )
 from .base import CloudPlatform
 from .cluster import ClusterPlatform, NodeHealth
+from .compute_cache import (
+    ClusterCacheDirectory,
+    ComputeCacheConfig,
+    ComputeResultCache,
+    ResultEntry,
+    rendezvous_owner,
+)
 from .container_db import ContainerDB, ContainerRecord
 from .dispatcher import Dispatcher
 from .migration import MigrationError, MigrationManager, MigrationReport
@@ -45,6 +52,11 @@ __all__ = [
     "CloudPlatform",
     "ClusterPlatform",
     "NodeHealth",
+    "ClusterCacheDirectory",
+    "ComputeCacheConfig",
+    "ComputeResultCache",
+    "ResultEntry",
+    "rendezvous_owner",
     "ImageRegistry",
     "ImagePuller",
     "ImageLayer",

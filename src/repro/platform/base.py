@@ -21,6 +21,7 @@ from ..offload.messages import KB, upload_messages, result_message
 from ..offload.request import OffloadRequest, Phase, PhaseTimeline, RequestResult
 from ..runtime.base import RuntimeEnvironment, RuntimeState
 from .access import AccessDecision
+from .compute_cache import ComputeCacheConfig, ComputeResultCache
 from .container_db import ContainerDB, ContainerRecord
 from .dispatcher import Dispatcher
 from .scheduler import MonitorScheduler, PredictiveConfig, WarmPoolPredictor
@@ -73,6 +74,8 @@ class CloudPlatform:
         self._last_contact: Dict[str, float] = {}
         #: predictive warm-pool scheduling (None = reactive, zero cost)
         self.predictor: Optional[WarmPoolPredictor] = None
+        #: content-addressed result cache (None = recompute, zero cost)
+        self.compute_cache: Optional[ComputeResultCache] = None
 
     # ------------------------------------------------------------------ hooks
     def make_runtime(self, cid: str, request: OffloadRequest) -> RuntimeEnvironment:
@@ -138,6 +141,20 @@ class CloudPlatform:
         if self.predictor is None:
             raise RuntimeError("call enable_predictive() first")
         return self.env.process(self.predictor.run(self.env))
+
+    # -------------------------------------------------- computation reuse
+    def enable_compute_cache(
+        self, config: Optional[ComputeCacheConfig] = None
+    ) -> ComputeResultCache:
+        """Attach a content-addressed result cache to the serve path.
+
+        Digest-bearing requests whose result is resident skip the
+        execute phase entirely (a ``cache_hit`` span replaces the
+        ``execute`` span).  With no cache attached the serve path is
+        byte-identical to before — a single ``is None`` check.
+        """
+        self.compute_cache = ComputeResultCache(config).bind_env(self.env)
+        return self.compute_cache
 
     def on_request_failed(self, request: OffloadRequest, exc: BaseException) -> None:
         """An in-flight request died (fault injection, interruption).
@@ -272,6 +289,7 @@ class CloudPlatform:
         self.scheduler.request_started(record.cid)
         entry = (request, env.active_process)
         self._inflight.setdefault(record.cid, []).append(entry)
+        result_hit = False
         try:
             # -- phase 3a: upload ---------------------------------------------------
             include_code = self.code_needed(request, runtime)
@@ -291,8 +309,33 @@ class CloudPlatform:
             # -- phase 4: computation execution ----------------------------------------
             t0 = env.now
             cache_hit = not include_code
-            with trace_span(env, "execute", who=record.cid, trace=request.trace_id):
-                yield from self._execute(request, runtime)
+            # Computation reuse: a resident result for this exact
+            # (app, code version, payload digest) skips execution.
+            # Requests with declared workflow operations always execute
+            # — the access filter inside _execute must still run.
+            cache = self.compute_cache
+            cached = None
+            if cache is not None and not request.operations:
+                cached = cache.lookup(request)
+            if cached is not None:
+                result_hit = True
+                with trace_span(
+                    env, "cache_hit", who=record.cid, trace=request.trace_id
+                ):
+                    if cache.cfg.hit_s:
+                        yield env.timeout(cache.cfg.hit_s)
+                # A hit still binds the session: attaching to the
+                # container loads the app environment, so the runtime
+                # stays the app's affinity target for later requests
+                # (otherwise every hit-only session cold-boots anew).
+                if not runtime.has_app(request.app_id):
+                    runtime.mark_loaded(request.app_id)
+                    self.on_app_loaded(request, runtime)
+            else:
+                with trace_span(env, "execute", who=record.cid, trace=request.trace_id):
+                    yield from self._execute(request, runtime)
+                if cache is not None and not request.operations:
+                    cache.offer(request, execute_s=env.now - t0, now=env.now)
             timeline.add(Phase.EXECUTION, env.now - t0)
 
             # -- phase 3b: result download ------------------------------------------------
@@ -334,6 +377,8 @@ class CloudPlatform:
             metrics.counter("platform.requests").inc()
             if cache_hit:
                 metrics.counter("platform.code_cache_hits").inc()
+            if result_hit:
+                metrics.counter("platform.result_cache_hits").inc()
             metrics.histogram("platform.response_s").observe(env.now - started)
         if self.predictor is not None and self.predictor.cfg.tail_aware:
             self.scheduler.note_response(record.cid, env.now - started, metrics)
@@ -344,6 +389,7 @@ class CloudPlatform:
             finished_at=env.now,
             executed_on=record.cid,
             code_cache_hit=cache_hit,
+            result_cache_hit=result_hit,
             bytes_up=bytes_up,
             bytes_down=result_msg.size_bytes,
         )

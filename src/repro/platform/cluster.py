@@ -28,6 +28,7 @@ from ..network.link import Link
 from ..obs import metrics_of
 from ..offload.request import OffloadRequest, RequestResult
 from .base import CloudPlatform
+from .compute_cache import ClusterCacheDirectory
 from .rattrap import RattrapPlatform
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -107,6 +108,8 @@ class ClusterPlatform:
         self._served_by_node: List[int] = [0] * servers
         #: sticky devices moved off their home node by a failure
         self.failovers = 0
+        #: cluster-tier compute-cache directory (enable_compute_cache)
+        self.cache_directory: Optional[ClusterCacheDirectory] = None
 
     # -- routing -----------------------------------------------------------------
     def _sticky_index(self, device_id: str) -> int:
@@ -233,6 +236,19 @@ class ClusterPlatform:
     def start_predictors(self) -> list:
         """Start every node's predictor tick loop; returns processes."""
         return [node.start_predictor() for node in self.nodes]
+
+    # -- computation reuse --------------------------------------------------------
+    def enable_compute_cache(self, config=None) -> ClusterCacheDirectory:
+        """Attach per-node result caches wired into one cluster tier.
+
+        Rendezvous hashing assigns each digest an owning node; lookups
+        from any node reach the owner through the directory (with a
+        small local mirror of hot remote entries), so a result computed
+        once serves the whole fleet without a broadcast.
+        """
+        caches = [node.enable_compute_cache(config) for node in self.nodes]
+        self.cache_directory = ClusterCacheDirectory(caches)
+        return self.cache_directory
 
     def node_loads(self) -> List[int]:
         """Requests served per node *through this cluster* (distribution

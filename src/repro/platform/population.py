@@ -82,6 +82,8 @@ class PopulationSource:
         predictor: Optional["WarmPoolPredictor"] = None,
         tick_s: float = 1.0,
         name: str = "population",
+        cache_hit_rate: float = 0.0,
+        hit_response_s: Optional[float] = None,
     ):
         if n < 1:
             raise ValueError("n must be >= 1")
@@ -91,6 +93,10 @@ class PopulationSource:
             raise ValueError("base_response_s must be positive")
         if tick_s <= 0:
             raise ValueError("tick_s must be positive")
+        if not (0.0 <= cache_hit_rate <= 1.0):
+            raise ValueError("cache_hit_rate must be in [0, 1]")
+        if hit_response_s is not None and hit_response_s <= 0:
+            raise ValueError("hit_response_s must be positive")
         self.env = env
         self.profile = profile
         self.n = int(n)
@@ -103,9 +109,20 @@ class PopulationSource:
         self.name = name
         #: effective completion rate of the fluid queue
         self.rho = min(self.rate, self.capacity)
+        #: compute-cache closed form: this fraction of the population's
+        #: requests is served from the result cache (calibrated hit
+        #: response ``hit_response_s`` instead of ``base_response_s``).
+        #: The drain schedule stays paced by the *miss* response — a
+        #: conservative bound, exact at hit rate 0 — while the mean
+        #: response and hit accounting use the mixture.
+        self.cache_hit_rate = float(cache_hit_rate)
+        self.hit_response_s = (
+            float(hit_response_s) if hit_response_s is not None else self.base_response_s
+        )
         self.bytes_up_each, self.bytes_down_each = per_request_bytes(profile)
         self._settled_arrivals = 0
         self._settled_completions = 0
+        self._settled_hits = 0
         self._proc: Optional["Process"] = None
 
     # -- closed forms ---------------------------------------------------------
@@ -150,13 +167,38 @@ class PopulationSource:
 
     @property
     def mean_response_s(self) -> float:
-        """Mean end-to-end response: calibrated base + fluid wait."""
-        return self.base_response_s + self.mean_wait_s
+        """Mean end-to-end response: calibrated base + fluid wait.
+
+        With a cache hit rate ``h`` the base is the closed-form mixture
+        ``h * hit_response_s + (1 - h) * base_response_s``.
+        """
+        h = self.cache_hit_rate
+        base = h * self.hit_response_s + (1.0 - h) * self.base_response_s
+        return base + self.mean_wait_s
+
+    @property
+    def expected_cache_hits(self) -> int:
+        """Requests the result cache will serve (closed form)."""
+        return self.hits_by_completed(self.n)
+
+    def hits_by_completed(self, completed: int) -> int:
+        """Cache hits among the first ``completed`` completions.
+
+        Deterministic Bresenham spread of the hit rate over the
+        completion sequence, so incremental settlement conserves the
+        total exactly: ``hits_by_completed(n) == floor(h * n)``.
+        """
+        return int(math.floor(self.cache_hit_rate * completed + 1e-9))
 
     @property
     def completed(self) -> int:
         """Completions settled into the counters so far."""
         return self._settled_completions
+
+    @property
+    def cache_hits(self) -> int:
+        """Cache hits settled into the counters so far."""
+        return self._settled_hits
 
     # -- the discrete twin ----------------------------------------------------
     def discrete_schedule(self) -> Iterator[Tuple[int, float]]:
@@ -188,10 +230,13 @@ class PopulationSource:
         """Fold arrivals/completions up to ``t`` into counters and feeds."""
         arrivals = self.arrived(t)
         completions = self.completed_by(t)
+        hits = self.hits_by_completed(completions)
         new_arrivals = arrivals - self._settled_arrivals
         new_completions = completions - self._settled_completions
+        new_hits = hits - self._settled_hits
         self._settled_arrivals = arrivals
         self._settled_completions = completions
+        self._settled_hits = hits
         if new_arrivals and self.predictor is not None:
             self.predictor.observe_aggregate(self.profile.name, new_arrivals)
         metrics = metrics_of(self.env)
@@ -206,6 +251,8 @@ class PopulationSource:
                 metrics.counter("population.bytes_down").inc(
                     new_completions * self.bytes_down_each
                 )
+            if new_hits:
+                metrics.counter("population.cache_hits").inc(new_hits)
             metrics.gauge("population.inflight").set(arrivals - completions)
 
     def _run(self, env: "Environment"):
@@ -231,4 +278,6 @@ class PopulationSource:
             "mean_response_s": self.mean_response_s,
             "mean_wait_s": self.mean_wait_s,
             "end_time_s": self.end_time_s,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_hits": self.cache_hits,
         }

@@ -56,11 +56,13 @@ COUNTER_RESOURCES = (
     "evicted_bytes",
     "violations",
     "blocked_requests",
+    "cache_hits",
+    "cache_evicted_bytes",
 )
 
 #: Instantaneous per-tenant resources (mirrored as gauges; attribution
 #: reads the high-water mark).
-GAUGE_RESOURCES = ("resident_bytes", "pool_slots")
+GAUGE_RESOURCES = ("resident_bytes", "pool_slots", "cache_bytes")
 
 ALL_RESOURCES = COUNTER_RESOURCES + GAUGE_RESOURCES
 
@@ -86,6 +88,9 @@ class TenancyConfig:
     #: per-tenant cap on tmpfs staging residency; staging past it burns
     #: the tenant's own oldest entries (None = unlimited)
     residency_quota_bytes: Optional[int] = None
+    #: per-tenant cap on compute-cache residency; storing past it burns
+    #: the tenant's own oldest cached results (None = unlimited)
+    cache_quota_bytes: Optional[int] = None
 
     def __post_init__(self):
         if self.airtime_cap is not None and not (0.0 < self.airtime_cap <= 1.0):
@@ -95,6 +100,8 @@ class TenancyConfig:
                 raise ValueError(f"airtime weight for {tenant!r} must be positive")
         if self.residency_quota_bytes is not None and self.residency_quota_bytes <= 0:
             raise ValueError("residency_quota_bytes must be positive")
+        if self.cache_quota_bytes is not None and self.cache_quota_bytes <= 0:
+            raise ValueError("cache_quota_bytes must be positive")
 
     def weight_of(self, tenant: str) -> float:
         """Fair-share weight for one tenant (1.0 unless configured)."""
@@ -155,9 +162,21 @@ class TenancyManager:
         """A request refused at admission because the tenant is blocked."""
         self._add("blocked_requests", tenant, 1.0)
 
+    def account_cache_hit(self, tenant: str) -> None:
+        """A compute-cache hit served to this tenant (skipped execute)."""
+        self._add("cache_hits", tenant, 1.0)
+
+    def account_cache_eviction(self, tenant: str, nbytes: float) -> None:
+        """Cached result bytes evicted out of this tenant's residency."""
+        self._add("cache_evicted_bytes", tenant, nbytes)
+
     def residency_set(self, tenant: str, resident_bytes: float) -> None:
         """Current tmpfs residency attributed to this tenant."""
         self._set("resident_bytes", tenant, resident_bytes)
+
+    def cache_set(self, tenant: str, cache_bytes: float) -> None:
+        """Current compute-cache residency attributed to this tenant."""
+        self._set("cache_bytes", tenant, cache_bytes)
 
     def pool_set(self, tenant: str, slots: float) -> None:
         """Warm-pool slots (spares + in-flight pre-boots) held."""

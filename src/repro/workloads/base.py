@@ -56,6 +56,14 @@ class WorkloadProfile:
     #: execution time of the same task locally on the handset
     local_time_s: float = 0.0
 
+    # ---- payload identity ----------------------------------------------------------
+    #: content digest of the workload's *shared* payload, when every
+    #: request ships the same artifact (VirusScan's signature database).
+    #: Requests constructed without an explicit ``payload_digest``
+    #: inherit it, so content-addressed dedup and result caching apply
+    #: without per-callsite opt-in.  None = payloads unique per request.
+    payload_key: "str | None" = None
+
     def __post_init__(self):
         for field_name in (
             "code_size_kb",

@@ -85,6 +85,9 @@ VIRUS_SCAN = WorkloadProfile(
     code_load_s=0.45,
     framework_overhead_s=0.10,
     local_time_s=13.2,
+    # every clone scans against the same signature database — the
+    # payload is content-identical across devices
+    payload_key="virus-db-v1",
 )
 
 LINPACK = WorkloadProfile(

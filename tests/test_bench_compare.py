@@ -14,7 +14,7 @@ bench_compare = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(bench_compare)
 
 
-def _payload(walls, schema=1, devices=None):
+def _payload(walls, schema=1, devices=None, hit_rate=None):
     rows = []
     for n, w in walls.items():
         row = {"name": n, "wall_s": w}
@@ -23,6 +23,8 @@ def _payload(walls, schema=1, devices=None):
         if schema >= 3:
             row["devices"] = devices
             row["devices_per_s"] = None if devices is None else devices / w
+        if schema >= 4:
+            row["cache_hit_rate"] = hit_rate
         rows.append(row)
     return {"schema_version": schema, "experiments": rows}
 
@@ -109,6 +111,23 @@ def test_compare_carries_v3_device_throughput_through():
     )
     assert rows[0]["base_dev_s"] is None
     assert rows[0]["fresh_dev_s"] == pytest.approx(1750.0)
+
+
+def test_compare_carries_v4_hit_rate_through():
+    # v4 baselines surface the cache hit rate; a v3 baseline against a
+    # fresh v4 run leaves the base column None instead of erroring.
+    rows, _ = bench_compare.compare(
+        _payload({"cachebench": 2.0}, schema=4, hit_rate=0.6),
+        _payload({"cachebench": 2.0}, schema=4, hit_rate=0.65),
+    )
+    assert rows[0]["base_hit"] == pytest.approx(0.6)
+    assert rows[0]["fresh_hit"] == pytest.approx(0.65)
+    rows, _ = bench_compare.compare(
+        _payload({"cachebench": 2.0}, schema=3),
+        _payload({"cachebench": 2.0}, schema=4, hit_rate=0.65),
+    )
+    assert rows[0]["base_hit"] is None
+    assert rows[0]["fresh_hit"] == pytest.approx(0.65)
 
 
 def test_cli_compares_saved_runs(tmp_path, capsys):

@@ -115,17 +115,22 @@ def test_benchmark_payload_schema():
     }
     (row,) = payload["experiments"]
     assert set(row) == {
-        "name", "wall_s", "p99_wall_s", "devices", "devices_per_s", "cells",
+        "name", "wall_s", "p99_wall_s", "devices", "devices_per_s",
+        "cache_hit_rate", "cells",
     }
     assert row["cells"] == [
-        {"key": [0], "wall_s": timings[0].wall_s, "devices": None},
-        {"key": [1], "wall_s": timings[1].wall_s, "devices": None},
+        {"key": [0], "wall_s": timings[0].wall_s, "devices": None,
+         "cache_hit_rate": None},
+        {"key": [1], "wall_s": timings[1].wall_s, "devices": None,
+         "cache_hit_rate": None},
     ]
     # nearest-rank p99 over 2 cells is the slower one
     assert row["p99_wall_s"] == max(t.wall_s for t in timings)
     # toy cells report no fleet, so v3's throughput fields stay null
     assert row["devices"] is None
     assert row["devices_per_s"] is None
+    # ...and no cache either, so v4's hit-rate field stays null
+    assert row["cache_hit_rate"] is None
     empty = benchmark_payload(
         [{"name": "none", "wall_s": 0.1}], jobs=0, total_wall_s=0.1
     )
@@ -159,6 +164,30 @@ def test_benchmark_payload_device_throughput():
     assert [c["devices"] for c in row["cells"]] == [1000, 2500]
 
 
+def _cache_cell(rate):
+    return {"devices": 100, "cache_hit_rate": rate}
+
+
+def test_benchmark_payload_cache_hit_rate():
+    # Cells returning "cache_hit_rate" roll up into the v4 per-
+    # experiment mean over reporting cells.
+    cells = [
+        Cell(experiment="cachebench", key=(r,), fn=_cache_cell, kwargs={"rate": r})
+        for r in (0.0, 0.9)
+    ]
+    with collect_timings() as timings:
+        run_cells(cells, jobs=0)
+    assert [t.cache_hit_rate for t in timings] == [0.0, 0.9]
+    payload = benchmark_payload(
+        [{"name": "cachebench", "wall_s": 0.5, "timings": timings}],
+        jobs=0,
+        total_wall_s=0.5,
+    )
+    (row,) = payload["experiments"]
+    assert row["cache_hit_rate"] == pytest.approx(0.45)
+    assert [c["cache_hit_rate"] for c in row["cells"]] == [0.0, 0.9]
+
+
 def test_runner_bench_writes_stable_schema(tmp_path, capsys):
     bench = tmp_path / "BENCH_experiments.json"
     assert main(["--bench", str(bench), "sec3e"]) == 0
@@ -169,5 +198,6 @@ def test_runner_bench_writes_stable_schema(tmp_path, capsys):
     (row,) = payload["experiments"]
     assert row["name"] == "sec3e"
     assert row["cells"] and all(
-        set(c) == {"key", "wall_s", "devices"} for c in row["cells"]
+        set(c) == {"key", "wall_s", "devices", "cache_hit_rate"}
+        for c in row["cells"]
     )

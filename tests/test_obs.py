@@ -181,7 +181,12 @@ def test_phase_spans_tile_response_time_rattrap():
         result.response_time, rel=1e-9
     )
     kinds = {s.kind for s in obs.tracer.spans}
+    # "cache_hit" only replaces "execute" when a compute cache serves
+    # the result; an uncached serve emits every other phase kind.
     for kind in PHASE_KINDS:
+        if kind == "cache_hit":
+            assert kind not in kinds
+            continue
         assert kind in kinds, f"missing phase span {kind!r}"
     assert "queued" in kinds and "boot" in kinds and "stage" in kinds
 
