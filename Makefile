@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-compare experiments chaos abuse abuse-smoke \
-	scale predictive megascale megascale-smoke cachebench cachebench-smoke
+	scale predictive megascale megascale-smoke cachebench cachebench-smoke \
+	partition partition-smoke
 
 JOBS ?= 0
 
@@ -55,12 +56,22 @@ cachebench:
 cachebench-smoke:
 	$(PYTHON) -m repro.experiments.runner cachebench --smoke --jobs $(JOBS)
 
+## Run the opt-in dynamic-partitioning benchmark: offload / local /
+## adaptive decision arms across the four network scenarios (see
+## docs/PERFORMANCE.md "Dynamic partitioning").  The smoke variant is
+## the cheap CI configuration.
+partition:
+	$(PYTHON) -m repro.experiments.runner partition --jobs $(JOBS)
+
+partition-smoke:
+	$(PYTHON) -m repro.experiments.runner partition --smoke --jobs $(JOBS)
+
 ## Run every experiment plus the scale-family smoke configs and write
 ## BENCH_experiments.json with per-cell/per-experiment wall-clock and
 ## device throughput (JOBS=N to parallelize).
 bench:
 	$(PYTHON) -m repro.experiments.runner --jobs $(JOBS) --bench --smoke \
-		--extra scale --extra megascale --extra cachebench
+		--extra scale --extra megascale --extra cachebench --extra partition
 
 ## Re-measure the default suite and diff against the committed
 ## BENCH_experiments.json; exits 1 on a >25 % per-experiment regression.

@@ -8,7 +8,7 @@ Usage::
     python benchmarks/compare.py --threshold 0.25   # regression bar
 
 Compares per-experiment wall-clock from ``BENCH_experiments.json``
-(schema v1-v4, written by ``make bench``) against a fresh
+(schema v1-v5, written by ``make bench``) against a fresh
 measurement and exits non-zero when any experiment regressed by more
 than the threshold.  Schema v2 additionally carries a per-experiment
 cell-wall p99 (``p99_wall_s``); the comparison table shows it as a
@@ -16,7 +16,8 @@ tail-latency column, with a dash for v1 baselines that predate it.
 Schema v3 adds ``devices``/``devices_per_s`` for the scale family
 (smoke-measured here so the sharded kernel's throughput trends across
 PRs too); v4 adds ``cache_hit_rate`` for cache-bearing experiments,
-shown as hit-% columns.  Two defenses against flakiness: experiments faster than
+shown as hit-% columns; v5 adds ``local_fraction`` for the partition
+family, shown as local-% columns.  Two defenses against flakiness: experiments faster than
 the noise floor on either side are skipped (interpreter jitter swamps
 a 200 ms measurement), and the fresh suite is measured best-of-N
 (``--repeats``, min wall per experiment) so a background process
@@ -47,15 +48,15 @@ NOISE_FLOOR_S = 0.25
 DEFAULT_REPEATS = 2
 
 #: v1 has per-experiment wall only; v2 adds ``p99_wall_s``; v3 adds
-#: ``devices``/``devices_per_s``; v4 adds ``cache_hit_rate``.  The
-#: reader accepts all four so a fresh v4 run still compares against
-#: old baselines.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4)
+#: ``devices``/``devices_per_s``; v4 adds ``cache_hit_rate``; v5 adds
+#: ``local_fraction``.  The reader accepts all five so a fresh v5 run
+#: still compares against old baselines.
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
 
 #: opt-in experiments measured with --smoke alongside the default suite
 #: so the sharded kernel's device throughput and the compute cache's
 #: hit rate are part of the baseline
-SMOKE_EXPERIMENTS = ("scale", "megascale", "cachebench")
+SMOKE_EXPERIMENTS = ("scale", "megascale", "cachebench", "partition")
 
 
 def _by_name(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
@@ -69,11 +70,13 @@ def _by_name(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         p99 = e.get("p99_wall_s")  # absent in v1, possibly null in v2
         dps = e.get("devices_per_s")  # absent before v3, null off-family
         hit = e.get("cache_hit_rate")  # absent before v4, null off-family
+        loc = e.get("local_fraction")  # absent before v5, null off-family
         out[e["name"]] = {
             "wall_s": float(e["wall_s"]),
             "p99_wall_s": None if p99 is None else float(p99),
             "devices_per_s": None if dps is None else float(dps),
             "cache_hit_rate": None if hit is None else float(hit),
+            "local_fraction": None if loc is None else float(loc),
         }
     return out
 
@@ -112,6 +115,8 @@ def compare(
             "fresh_dev_s": new[name]["devices_per_s"],
             "base_hit": b["cache_hit_rate"],
             "fresh_hit": new[name]["cache_hit_rate"],
+            "base_loc": b["local_fraction"],
+            "fresh_loc": new[name]["local_fraction"],
         }
         rows.append(row)
         if delta > threshold and base_s >= floor_s and fresh_s >= floor_s:
@@ -196,7 +201,7 @@ def main(argv=None) -> int:
     print(
         f"{'experiment':14s} {'base':>8s} {'fresh':>8s} {'delta':>8s} "
         f"{'b.p99':>8s} {'f.p99':>8s} {'b.dev/s':>9s} {'f.dev/s':>9s} "
-        f"{'b.hit%':>7s} {'f.hit%':>7s}"
+        f"{'b.hit%':>7s} {'f.hit%':>7s} {'b.loc%':>7s} {'f.loc%':>7s}"
     )
 
     def p99(value) -> str:
@@ -215,7 +220,8 @@ def main(argv=None) -> int:
             f"{100 * row['delta']:+7.1f}% {p99(row['base_p99_s']):>8s} "
             f"{p99(row['fresh_p99_s']):>8s} {devs(row.get('base_dev_s')):>9s} "
             f"{devs(row.get('fresh_dev_s')):>9s} {hits(row.get('base_hit')):>7s} "
-            f"{hits(row.get('fresh_hit')):>7s}{flag}"
+            f"{hits(row.get('fresh_hit')):>7s} {hits(row.get('base_loc')):>7s} "
+            f"{hits(row.get('fresh_loc')):>7s}{flag}"
         )
     total_base = sum(r["base_s"] for r in rows)
     total_fresh = sum(r["fresh_s"] for r in rows)

@@ -51,8 +51,10 @@ __all__ = [
 #: bump when the BENCH_experiments.json layout changes incompatibly
 #: (v2 adds per-experiment ``p99_wall_s`` over the cell wall-clocks;
 #: v3 adds ``devices``/``devices_per_s`` throughput for scale-family
-#: experiments whose cells report a ``devices`` count)
-BENCH_SCHEMA_VERSION = 4
+#: experiments whose cells report a ``devices`` count;
+#: v5 adds ``local_fraction`` for partition-family experiments whose
+#: cells report the fraction of requests executed on the handset)
+BENCH_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,9 @@ class CellTiming:
     ``cache_hit_rate`` is the compute-result cache hit fraction the
     cell reported (cells returning a mapping with a ``"cache_hit_rate"``
     entry — the cachebench family), or ``None`` for cache-less cells.
+    ``local_fraction`` is the fraction of requests the partition layer
+    kept on the handset (cells returning a mapping with a
+    ``"local_fraction"`` entry — the partition family), or ``None``.
     """
 
     experiment: str
@@ -93,6 +98,7 @@ class CellTiming:
     wall_s: float
     devices: Optional[int] = None
     cache_hit_rate: Optional[float] = None
+    local_fraction: Optional[float] = None
 
 
 def _devices_of(value: Any) -> Optional[int]:
@@ -110,6 +116,15 @@ def _hit_rate_of(value: Any) -> Optional[float]:
         rate = value.get("cache_hit_rate")
         if isinstance(rate, (int, float)) and not isinstance(rate, bool):
             return float(rate)
+    return None
+
+
+def _local_fraction_of(value: Any) -> Optional[float]:
+    """The locally-executed fraction a cell reports, if any."""
+    if isinstance(value, Mapping):
+        fraction = value.get("local_fraction")
+        if isinstance(fraction, (int, float)) and not isinstance(fraction, bool):
+            return float(fraction)
     return None
 
 
@@ -236,6 +251,7 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = 0) -> List[Any]:
                     wall_s,
                     _devices_of(value),
                     _hit_rate_of(value),
+                    _local_fraction_of(value),
                 )
             )
     return [value for value, _ in outcomes]
@@ -261,6 +277,9 @@ def benchmark_payload(
     one) and per-experiment ``cache_hit_rate`` — the unweighted mean
     over reporting cells, ``null`` when none report (so the comparator
     can trend cache effectiveness across PRs alongside throughput).
+    Schema v5 adds the partition signal the same way: per-cell and
+    per-experiment ``local_fraction`` (unweighted mean over reporting
+    cells) — how much work the decision layer kept on the handset.
     The schema is covered by a tier-1 smoke test so downstream tooling
     can trend wall-clock across PRs.
     """
@@ -282,6 +301,9 @@ def _experiment_row(row: Mapping[str, Any]) -> Dict[str, Any]:
     devices = sum(t.devices for t in device_cells) if device_cells else None
     device_wall = sum(t.wall_s for t in device_cells)
     hit_rates = [t.cache_hit_rate for t in timings if t.cache_hit_rate is not None]
+    local_fractions = [
+        t.local_fraction for t in timings if t.local_fraction is not None
+    ]
     return {
         "name": row["name"],
         "wall_s": row["wall_s"],
@@ -293,12 +315,18 @@ def _experiment_row(row: Mapping[str, Any]) -> Dict[str, Any]:
         "cache_hit_rate": (
             sum(hit_rates) / len(hit_rates) if hit_rates else None
         ),
+        "local_fraction": (
+            sum(local_fractions) / len(local_fractions)
+            if local_fractions
+            else None
+        ),
         "cells": [
             {
                 "key": list(t.key),
                 "wall_s": t.wall_s,
                 "devices": t.devices,
                 "cache_hit_rate": t.cache_hit_rate,
+                "local_fraction": t.local_fraction,
             }
             for t in timings
         ],

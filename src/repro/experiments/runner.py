@@ -38,6 +38,7 @@ from . import (
     fig10_power,
     fig11_trace_cdf,
     megascale,
+    partition,
     predictive,
     scale,
     scorecard,
@@ -86,6 +87,7 @@ EXTRA_EXPERIMENTS: Dict[str, Tuple[object, str]] = {
     "predictive": (predictive, "extension: predictive warm-pool vs reactive"),
     "megascale": (megascale, "extension: 1M devices on the sharded kernel"),
     "cachebench": (cachebench, "extension: compute-result cache off/node/cluster"),
+    "partition": (partition, "extension: dynamic offload-vs-local partitioning"),
 }
 
 

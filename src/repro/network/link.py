@@ -13,7 +13,7 @@ offloading response for file-heavy workloads (Fig. 10).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, List, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 import numpy as np
 
@@ -256,6 +256,14 @@ class Link:
         #: wire traffic — goodput plus loss-driven retransmissions
         self.wire_bytes_up = 0
         self.wire_bytes_down = 0
+        #: EWMA smoothing for the observed-condition estimators
+        self.obs_alpha = 0.3
+        #: observed end-to-end goodput per direction (bytes/s over the
+        #: full transfer including latency, contention and loss), None
+        #: until the first transfer completes
+        self._goodput_ewma: Dict[str, Optional[float]] = {"up": None, "down": None}
+        #: observed round-trip time, None until the first handshake
+        self._rtt_ewma: Optional[float] = None
 
     # -- deterministic cost model ------------------------------------------------
     def one_way_delay(self) -> float:
@@ -350,6 +358,8 @@ class Link:
             else:
                 duration = latency + wire_bytes / bw
                 yield env.timeout(duration)
+        if nbytes > 0 and duration > 0:
+            self._observe_goodput(direction, nbytes / duration)
         if direction == "up":
             self.bytes_up += int(nbytes)
             self.wire_bytes_up += int(wire_bytes)
@@ -365,7 +375,46 @@ class Link:
     def connect(self, env: "Environment") -> Generator:
         """Process generator: TCP-style connection establishment (1 RTT
         handshake + half-RTT for the first request to land)."""
+        start = env.now
         yield env.timeout(self.rtt() + self.one_way_delay())
+        # The handshake took 1.5 jittered RTTs end to end — two thirds
+        # of the elapsed time is one observed round trip.
+        elapsed = env.now - start
+        if elapsed > 0:
+            self._observe_rtt(elapsed * (2.0 / 3.0))
+
+    # -- observed conditions (EWMA, fed by completed activity) ----------------
+    def _observe_goodput(self, direction: str, bytes_per_s: float) -> None:
+        prev = self._goodput_ewma[direction]
+        if prev is None:
+            self._goodput_ewma[direction] = bytes_per_s
+        else:
+            a = self.obs_alpha
+            self._goodput_ewma[direction] = (1.0 - a) * prev + a * bytes_per_s
+
+    def _observe_rtt(self, rtt_s: float) -> None:
+        if self._rtt_ewma is None:
+            self._rtt_ewma = rtt_s
+        else:
+            a = self.obs_alpha
+            self._rtt_ewma = (1.0 - a) * self._rtt_ewma + a * rtt_s
+
+    def observed_goodput(self, direction: str) -> float:
+        """Observed end-to-end goodput (bytes/s) for one direction.
+
+        EWMA over completed transfers — so contention on a shared
+        medium, loss-driven retransmissions and latency all show up —
+        falling back to the nominal bandwidth before any transfer has
+        completed.  Decision engines read this; nothing on the timed
+        path does, so observing is free.
+        """
+        nominal = self._bw(direction)  # validates the direction too
+        ewma = self._goodput_ewma[direction]
+        return ewma if ewma is not None else nominal
+
+    def observed_rtt_s(self) -> float:
+        """Observed round-trip time, falling back to ``2 * latency_s``."""
+        return self._rtt_ewma if self._rtt_ewma is not None else 2.0 * self.latency_s
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

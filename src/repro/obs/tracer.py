@@ -11,7 +11,7 @@ traces are regression artifacts, not just debugging aids.
 Spans carry a ``trace`` string (the originating request's
 ``trace_id``) and a ``who`` string (link name, container id, ...).
 Nested spans are naturally represented by containment of their
-``[start, end]`` intervals; the five serve-phase kinds
+``[start, end]`` intervals; the serve-phase kinds
 (:data:`PHASE_KINDS`) tile a request's response time exactly.
 """
 
@@ -27,9 +27,14 @@ __all__ = ["Span", "Tracer", "PHASE_KINDS"]
 
 #: serve-path phase spans: together they tile a request's lifetime
 #: (``cache_hit`` replaces ``execute`` when the compute cache serves
-#: the result, so the tiling property holds either way)
+#: the result, so the tiling property holds either way).  The client-
+#: side partition layer adds ``decide`` (scoring offload-vs-local) and
+#: ``local_exec`` (on-device execution): a partitioned request's
+#: response tiles as decide + serve phases when offloaded, and as
+#: decide + local_exec when kept on the handset.
 PHASE_KINDS: Tuple[str, ...] = (
-    "connect", "prepare", "upload", "execute", "cache_hit", "collect"
+    "decide", "connect", "prepare", "upload", "execute", "cache_hit",
+    "collect", "local_exec",
 )
 
 

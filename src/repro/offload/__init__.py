@@ -4,6 +4,7 @@ from .client import (
     replay_closed_loop,
     replay_hybrid,
     replay_inflow,
+    replay_partitioned,
     replay_with_deadline,
     replay_with_retry,
     run_inflow_experiment,
@@ -11,6 +12,13 @@ from .client import (
 from .decision import DecisionEngine, OffloadEstimate
 from .device import MobileDevice
 from .messages import KB, Message, MessageKind, result_message, upload_messages
+from .partition import (
+    CostEstimate,
+    Decision,
+    OffloadDecider,
+    PartitionConfig,
+    StaticDecider,
+)
 from .power import RADIO_PARAMS, EnergyBreakdown, PowerModel, RadioParams
 from .request import OffloadRequest, Phase, PhaseTimeline, RequestResult
 from .retry import RetryPolicy, is_retryable
@@ -35,9 +43,15 @@ __all__ = [
     "replay_inflow",
     "replay_closed_loop",
     "replay_hybrid",
+    "replay_partitioned",
     "replay_with_deadline",
     "replay_with_retry",
     "run_inflow_experiment",
     "RetryPolicy",
     "is_retryable",
+    "PartitionConfig",
+    "CostEstimate",
+    "Decision",
+    "OffloadDecider",
+    "StaticDecider",
 ]

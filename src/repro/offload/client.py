@@ -23,6 +23,7 @@ __all__ = [
     "replay_inflow",
     "replay_closed_loop",
     "replay_hybrid",
+    "replay_partitioned",
     "replay_with_deadline",
     "replay_with_retry",
     "run_inflow_experiment",
@@ -34,19 +35,26 @@ def replay_with_deadline(
     platform: "CloudPlatform",
     plans: Sequence["ArrivalPlan"],
     devices: Dict[str, MobileDevice],
-    deadline_s: float,
+    deadline_s: Optional[float] = None,
 ) -> Generator:
     """Closed-loop replay with a client-side response deadline.
 
-    If an offloaded request has not returned within ``deadline_s``, the
+    If an offloaded request has not returned within its deadline, the
     client aborts it (the in-flight cloud work is interrupted) and
     executes the task locally — bounding the worst case a cold start or
     overloaded server can inflict on the user.  Aborted requests carry
     ``deadline_aborted`` and ``executed_locally``.
+
+    Each request's deadline is its own ``deadline_budget_s`` (plumbed
+    from the app profile's QoS budget) when set, else the global
+    ``deadline_s``; a request with neither is never aborted.  Both
+    clocks anchor at the submission instant — the same instant the
+    partition layer's budget enforcement uses — so the deadline client
+    and the QoS shed path agree on when a budget starts counting.
     """
     from .request import PhaseTimeline
 
-    if deadline_s <= 0:
+    if deadline_s is not None and deadline_s <= 0:
         raise ValueError("deadline_s must be positive")
     per_device: Dict[str, list] = {}
     for plan in plans:
@@ -64,10 +72,21 @@ def replay_with_deadline(
             if plan.gap_s > 0:
                 yield env.timeout(plan.gap_s)
             request = plan.request
+            budget = (
+                request.deadline_budget_s
+                if request.deadline_budget_s is not None
+                else deadline_s
+            )
             submitted = env.now
             proc = platform.submit(request, device.link)
             proc.defused = True
-            expiry = env.timeout(deadline_s)
+            if budget is None:
+                result = yield proc
+                if not result.blocked:
+                    device.account_offload(result)
+                collected.append(result)
+                continue
+            expiry = env.timeout(budget)
             outcome = yield env.any_of([proc, expiry])
             if proc in outcome or proc.ok:
                 # Completed — possibly in the same tick the deadline
@@ -80,7 +99,9 @@ def replay_with_deadline(
             else:
                 if proc.is_alive:
                     proc.interrupt("client deadline exceeded")
-                yield from device.execute_locally(env, request.profile)
+                yield from device.execute_locally(
+                    env, request.profile, trace_id=request.trace_id
+                )
                 result = RequestResult(
                     request=request,
                     timeline=PhaseTimeline(),
@@ -174,7 +195,9 @@ def replay_with_retry(
                 if not result.blocked:
                     device.account_offload(result)
             else:
-                yield from device.execute_locally(env, request.profile)
+                yield from device.execute_locally(
+                    env, request.profile, trace_id=request.trace_id
+                )
                 result = RequestResult(
                     request=request,
                     timeline=PhaseTimeline(),
@@ -241,7 +264,9 @@ def replay_hybrid(
                     device.account_offload(result)
             else:
                 started = env.now
-                yield from device.execute_locally(env, request.profile)
+                yield from device.execute_locally(
+                    env, request.profile, trace_id=request.trace_id
+                )
                 result = RequestResult(
                     request=request,
                     timeline=PhaseTimeline(),
@@ -249,6 +274,145 @@ def replay_hybrid(
                     finished_at=env.now,
                     executed_locally=True,
                 )
+            collected.append(result)
+        return collected
+
+    drivers = [
+        env.process(drive(device_id, seq)) for device_id, seq in per_device.items()
+    ]
+    done = yield env.all_of(drivers)
+    results = [r for batch in done.values() for r in batch]
+    results.sort(key=lambda r: r.request.request_id)
+    return results
+
+
+def replay_partitioned(
+    env: "Environment",
+    platforms,
+    plans: Sequence["ArrivalPlan"],
+    devices: Dict[str, MobileDevice],
+    decider=None,
+) -> Generator:
+    """Closed-loop replay with the partition layer in the loop.
+
+    Before each request the decider scores local execution against
+    every candidate platform (see :mod:`repro.offload.partition`) and
+    the client follows the verdict:
+
+    - **offload** — submit to the chosen platform; when the decider's
+      config enforces budgets, an offload still in flight at the
+      request's budget is aborted and re-run locally (clock anchored
+      at the submission instant, matching :func:`replay_with_deadline`);
+    - **local** — run on the handset (``local_exec`` span);
+    - **shed** — drop the request (``shed`` result, nothing runs).
+
+    ``decider=None`` detaches the layer entirely: every request
+    offloads to the first platform with no decide span and no cost-
+    model evaluation — byte-identical to a plain closed-loop replay,
+    the ``is None`` gating every optional plane here uses.
+
+    Each decision is wrapped in a ``decide`` phase span of the
+    configured ``decide_s``, so partitioned responses still tile
+    exactly: decide + serve phases when offloaded, decide +
+    ``local_exec`` when local, decide alone when shed.
+    """
+    from ..obs import trace_span
+    from .request import PhaseTimeline
+
+    targets = list(platforms) if isinstance(platforms, (list, tuple)) else [platforms]
+    if not targets:
+        raise ValueError("need at least one platform")
+    per_device: Dict[str, list] = {}
+    for plan in plans:
+        per_device.setdefault(plan.device_id, []).append(plan)
+    for seq in per_device.values():
+        seq.sort(key=lambda p: p.request.seq_on_device)
+    missing = set(per_device) - set(devices)
+    if missing:
+        raise ValueError(f"no device object for: {sorted(missing)}")
+
+    def offload(device, request, target, budget) -> Generator:
+        """One offload attempt, optionally budget-enforced."""
+        submitted = env.now
+        proc = target.submit(request, device.link)
+        if budget is None:
+            result = yield proc
+            if not result.blocked:
+                device.account_offload(result)
+            return result
+        proc.defused = True
+        expiry = env.timeout(budget)
+        outcome = yield env.any_of([proc, expiry])
+        if proc in outcome or proc.ok:
+            # Same-tick completion is a completion (see
+            # replay_with_deadline).
+            result = proc.value
+            if not result.blocked:
+                device.account_offload(result)
+            return result
+        if proc.is_alive:
+            proc.interrupt("QoS budget exceeded")
+        yield from device.execute_locally(
+            env, request.profile, trace_id=request.trace_id
+        )
+        return RequestResult(
+            request=request,
+            timeline=PhaseTimeline(),
+            started_at=submitted,
+            finished_at=env.now,
+            executed_locally=True,
+            deadline_aborted=True,
+        )
+
+    def drive(device_id: str, device_plans) -> Generator:
+        device = devices[device_id]
+        metrics = metrics_of(env)
+        collected = []
+        for plan in device_plans:
+            if plan.gap_s > 0:
+                yield env.timeout(plan.gap_s)
+            request = plan.request
+            if decider is None:
+                result = yield targets[0].submit(request, device.link)
+                if not result.blocked:
+                    device.account_offload(result)
+                collected.append(result)
+                continue
+            started = env.now
+            with trace_span(env, "decide", who=device_id, trace=request.trace_id):
+                decision = decider.decide(request, device, targets)
+                if decider.cfg.decide_s:
+                    yield env.timeout(decider.cfg.decide_s)
+            if metrics is not None:
+                metrics.counter(f"client.decisions.{decision.choice}").inc()
+            if decision.choice == "offload":
+                budget = None
+                if decider.cfg.enforce_budget and decision.budget_s != float("inf"):
+                    budget = decision.budget_s
+                result = yield from offload(
+                    device, request, targets[decision.target], budget
+                )
+                result.started_at = started  # the decision is part of it
+            elif decision.choice == "local":
+                yield from device.execute_locally(
+                    env, request.profile, trace_id=request.trace_id
+                )
+                result = RequestResult(
+                    request=request,
+                    timeline=PhaseTimeline(),
+                    started_at=started,
+                    finished_at=env.now,
+                    executed_locally=True,
+                )
+            else:  # shed
+                result = RequestResult(
+                    request=request,
+                    timeline=PhaseTimeline(),
+                    started_at=started,
+                    finished_at=env.now,
+                    shed=True,
+                )
+            decider.observe(result)
             collected.append(result)
         return collected
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, List, Optional
 
 from ..network.link import Link
+from ..obs import trace_span
 from .power import EnergyBreakdown, PowerModel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,9 +52,17 @@ class MobileDevice:
         return max(0.0, 1.0 - self.energy_used_j / self.battery_capacity_j)
 
     # -- local execution ---------------------------------------------------------
-    def execute_locally(self, env: "Environment", profile: "WorkloadProfile") -> Generator:
-        """Process generator: run the workload on the handset itself."""
-        yield env.timeout(profile.local_time_s)
+    def execute_locally(
+        self, env: "Environment", profile: "WorkloadProfile", trace_id: str = ""
+    ) -> Generator:
+        """Process generator: run the workload on the handset itself.
+
+        Emits a ``local_exec`` phase span so an on-device run is as
+        traceable as an offloaded one — a partitioned request's
+        response tiles as decide + local_exec.
+        """
+        with trace_span(env, "local_exec", who=self.device_id, trace=trace_id):
+            yield env.timeout(profile.local_time_s)
         energy = self.power.local_energy(profile)
         self.energy_used_j += energy.total_j
         self.local_executions += 1

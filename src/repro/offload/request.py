@@ -98,6 +98,12 @@ class OffloadRequest:
     #: version of the app code this request runs against; part of the
     #: compute-cache key, so a code push invalidates cached results
     code_version: str = "v1"
+    #: per-request latency budget (seconds).  Inherited from the app
+    #: profile's ``deadline_budget_s`` unless set explicitly, the same
+    #: way ``payload_digest`` inherits ``payload_key`` — so the QoS
+    #: budget gate and the deadline client agree on one source of
+    #: truth.  None = unconstrained.
+    deadline_budget_s: Optional[float] = None
 
     def __post_init__(self):
         if self.request_id < 0:
@@ -112,6 +118,10 @@ class OffloadRequest:
             # name it via ``payload_key``, so dedup and result caching
             # are not opt-in at every construction site.
             self.payload_digest = getattr(self.profile, "payload_key", None)
+        if self.deadline_budget_s is None:
+            self.deadline_budget_s = getattr(self.profile, "deadline_budget_s", None)
+        if self.deadline_budget_s is not None and self.deadline_budget_s <= 0:
+            raise ValueError("deadline_budget_s must be positive when set")
 
 
 @dataclass
@@ -133,6 +143,9 @@ class RequestResult:
     executed_locally: bool = False
     #: the client aborted the offload at its deadline and fell back
     deadline_aborted: bool = False
+    #: the QoS budget gate dropped this request without running it
+    #: anywhere (no path fit the app's latency budget)
+    shed: bool = False
     #: submission attempts the client made for this result (retry client)
     attempts: int = 1
 

@@ -19,7 +19,7 @@ from .container_db import ContainerDB, ContainerRecord
 from .dispatcher import Dispatcher
 from .migration import MigrationError, MigrationManager, MigrationReport
 from .population import PopulationSource, per_request_bytes
-from .qos import QoSController, RebalanceAction
+from .qos import QoSBudgetBook, QoSController, RebalanceAction
 from .rattrap import RattrapPlatform
 from .registry import (
     ContainerImage,
@@ -67,6 +67,7 @@ __all__ = [
     "MigrationManager",
     "MigrationReport",
     "MigrationError",
+    "QoSBudgetBook",
     "QoSController",
     "RebalanceAction",
     "VMCloudPlatform",

@@ -471,6 +471,44 @@ class CloudPlatform:
         record = self.dispatcher._record_for_key(key)
         return record is not None and record.runtime.has_app(request.app_id)
 
+    def expected_queueing_s(self, request: OffloadRequest) -> float:
+        """Predicted extra execution time from CPU contention.
+
+        When the in-flight request count (scheduler gauge) pushes past
+        the server's core count, the GPS CPU model stretches everyone's
+        compute proportionally; this deterministic estimate advertises
+        that stretch to decision engines.  Reads live scheduler state
+        only — no RNG, no mutation.
+        """
+        active = self.scheduler.active_requests
+        cores = self.server.spec.cores
+        stretch = max(0.0, (active + 1) / cores - 1.0)
+        if stretch <= 0.0:
+            return 0.0
+        work_s = (
+            request.profile.cloud_cpu_s * request.work_scale
+            + request.profile.framework_overhead_s
+        )
+        return stretch * work_s
+
+    def expected_cache_hit_p(self, request: OffloadRequest) -> float:
+        """Probability the compute cache serves this request's result.
+
+        1.0 when the exact key is resident right now; otherwise the
+        app's repeat-probability EWMA; 0.0 without a cache or for
+        unique payloads.  Decision engines discount the expected
+        execute time by this factor.
+        """
+        cache = self.compute_cache
+        if cache is None or request.operations:
+            return 0.0
+        key = cache.key_for(request)
+        if key is None:
+            return 0.0
+        if key in cache:
+            return 1.0
+        return cache.repeat_probability(request.app_id)
+
     # ---------------------------------------------------------- fault handling
     def crash_runtime(self, cid: str, reason: str = "fault") -> bool:
         """Kill one runtime abruptly (fault injection / hard failure).

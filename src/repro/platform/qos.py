@@ -1,17 +1,27 @@
-"""QoS controller: detect degradation, rebalance by live migration.
+"""QoS: latency budgets per app, plus cluster rebalancing by migration.
 
-The related CMCloud [1] "detects potential QoS failures by performance
-estimation and guarantees QoS requirements by VM migration".  This
-module brings the same control loop to the Rattrap cluster: watch
-per-node request concurrency, and when a node runs persistently hotter
-than the fleet, live-migrate its idle runtimes to the coolest node —
-cheap for containers (see :mod:`repro.platform.migration`).
+Two QoS mechanisms live here:
+
+- :class:`QoSBudgetBook` — per-app latency budgets on the *client*
+  side.  The partition layer (:mod:`repro.offload.partition`) holds
+  each request's predicted offload latency against its app's budget
+  and executes locally (or sheds) when the cloud cannot make the
+  deadline.  Budgets are static, or adapt from observed response
+  times (an EWMA with slack, clamped to a floor/ceiling).
+- :class:`QoSController` — the cloud-side control loop.  The related
+  CMCloud [1] "detects potential QoS failures by performance
+  estimation and guarantees QoS requirements by VM migration"; this
+  brings the same loop to the Rattrap cluster: watch per-node request
+  concurrency, and when a node runs persistently hotter than the
+  fleet, live-migrate its idle runtimes to the coolest node — cheap
+  for containers (see :mod:`repro.platform.migration`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, List, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 from .cluster import ClusterPlatform
 from .migration import MigrationError, MigrationManager, MigrationReport
@@ -19,7 +29,76 @@ from .migration import MigrationError, MigrationManager, MigrationReport
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.core import Environment
 
-__all__ = ["QoSController", "RebalanceAction"]
+__all__ = ["QoSBudgetBook", "QoSController", "RebalanceAction"]
+
+
+class QoSBudgetBook:
+    """Per-app latency budgets, static or adapting to observed latency.
+
+    ``budget_for`` answers the budget a request of an app is held to:
+    an explicitly set per-app budget wins, else (in adaptive mode) a
+    slack multiple of the app's observed response-time EWMA clamped to
+    ``[floor_s, ceil_s]``, else ``default_budget_s``.  The default
+    default is infinity — an attached-but-unconfigured book constrains
+    nothing, so the partition layer's budget gate is opt-in per app.
+    """
+
+    def __init__(
+        self,
+        default_budget_s: float = math.inf,
+        adaptive: bool = False,
+        alpha: float = 0.2,
+        slack: float = 2.0,
+        floor_s: float = 0.5,
+        ceil_s: float = math.inf,
+    ):
+        if default_budget_s <= 0:
+            raise ValueError("default_budget_s must be positive")
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("alpha must be in (0, 1]")
+        if slack <= 0:
+            raise ValueError("slack must be positive")
+        if floor_s <= 0 or ceil_s < floor_s:
+            raise ValueError("need 0 < floor_s <= ceil_s")
+        self.default_budget_s = default_budget_s
+        self.adaptive = adaptive
+        self.alpha = alpha
+        self.slack = slack
+        self.floor_s = floor_s
+        self.ceil_s = ceil_s
+        self._static: Dict[str, float] = {}
+        self._ewma: Dict[str, float] = {}
+
+    def set_budget(self, app_id: str, budget_s: float) -> None:
+        """Pin a static budget for one app (overrides adaptation)."""
+        if budget_s <= 0:
+            raise ValueError("budget_s must be positive")
+        self._static[app_id] = budget_s
+
+    def observe(self, app_id: str, response_s: float) -> None:
+        """Feed one observed response time into the app's EWMA."""
+        if response_s < 0:
+            raise ValueError("response_s must be >= 0")
+        prev = self._ewma.get(app_id)
+        if prev is None:
+            self._ewma[app_id] = response_s
+        else:
+            self._ewma[app_id] = (1.0 - self.alpha) * prev + self.alpha * response_s
+
+    def observed_response_s(self, app_id: str) -> Optional[float]:
+        """The app's response-time EWMA, or None before any observation."""
+        return self._ewma.get(app_id)
+
+    def budget_for(self, app_id: str) -> float:
+        """The latency budget requests of ``app_id`` are held to."""
+        static = self._static.get(app_id)
+        if static is not None:
+            return static
+        if self.adaptive:
+            ewma = self._ewma.get(app_id)
+            if ewma is not None:
+                return min(max(self.slack * ewma, self.floor_s), self.ceil_s)
+        return self.default_budget_s
 
 
 @dataclass

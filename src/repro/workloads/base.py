@@ -55,6 +55,11 @@ class WorkloadProfile:
     # ---- device-side ---------------------------------------------------------------
     #: execution time of the same task locally on the handset
     local_time_s: float = 0.0
+    #: per-request latency budget the app's UX tolerates (QoS).  The
+    #: partition layer sheds or locally executes requests whose
+    #: *predicted* offload latency exceeds it, and the deadline client
+    #: aborts in-flight offloads at it.  None = unconstrained.
+    deadline_budget_s: "float | None" = None
 
     # ---- payload identity ----------------------------------------------------------
     #: content digest of the workload's *shared* payload, when every
@@ -80,6 +85,8 @@ class WorkloadProfile:
                 raise ValueError(f"{field_name} must be >= 0")
         if self.exec_io_ops < 0 or self.exec_io_bytes < 0:
             raise ValueError("I/O parameters must be >= 0")
+        if self.deadline_budget_s is not None and self.deadline_budget_s <= 0:
+            raise ValueError("deadline_budget_s must be positive when set")
         if not self.name:
             raise ValueError("profile needs a name")
 

@@ -14,7 +14,7 @@ bench_compare = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(bench_compare)
 
 
-def _payload(walls, schema=1, devices=None, hit_rate=None):
+def _payload(walls, schema=1, devices=None, hit_rate=None, local_fraction=None):
     rows = []
     for n, w in walls.items():
         row = {"name": n, "wall_s": w}
@@ -25,6 +25,8 @@ def _payload(walls, schema=1, devices=None, hit_rate=None):
             row["devices_per_s"] = None if devices is None else devices / w
         if schema >= 4:
             row["cache_hit_rate"] = hit_rate
+        if schema >= 5:
+            row["local_fraction"] = local_fraction
         rows.append(row)
     return {"schema_version": schema, "experiments": rows}
 
@@ -128,6 +130,23 @@ def test_compare_carries_v4_hit_rate_through():
     )
     assert rows[0]["base_hit"] is None
     assert rows[0]["fresh_hit"] == pytest.approx(0.65)
+
+
+def test_compare_carries_v5_local_fraction_through():
+    # v5 baselines surface the partition layer's local fraction; a v4
+    # baseline against a fresh v5 run leaves the base column None.
+    rows, _ = bench_compare.compare(
+        _payload({"partition": 2.0}, schema=5, local_fraction=0.25),
+        _payload({"partition": 2.0}, schema=5, local_fraction=0.30),
+    )
+    assert rows[0]["base_loc"] == pytest.approx(0.25)
+    assert rows[0]["fresh_loc"] == pytest.approx(0.30)
+    rows, _ = bench_compare.compare(
+        _payload({"partition": 2.0}, schema=4),
+        _payload({"partition": 2.0}, schema=5, local_fraction=0.30),
+    )
+    assert rows[0]["base_loc"] is None
+    assert rows[0]["fresh_loc"] == pytest.approx(0.30)
 
 
 def test_cli_compares_saved_runs(tmp_path, capsys):

@@ -116,13 +116,13 @@ def test_benchmark_payload_schema():
     (row,) = payload["experiments"]
     assert set(row) == {
         "name", "wall_s", "p99_wall_s", "devices", "devices_per_s",
-        "cache_hit_rate", "cells",
+        "cache_hit_rate", "local_fraction", "cells",
     }
     assert row["cells"] == [
         {"key": [0], "wall_s": timings[0].wall_s, "devices": None,
-         "cache_hit_rate": None},
+         "cache_hit_rate": None, "local_fraction": None},
         {"key": [1], "wall_s": timings[1].wall_s, "devices": None,
-         "cache_hit_rate": None},
+         "cache_hit_rate": None, "local_fraction": None},
     ]
     # nearest-rank p99 over 2 cells is the slower one
     assert row["p99_wall_s"] == max(t.wall_s for t in timings)
@@ -131,6 +131,8 @@ def test_benchmark_payload_schema():
     assert row["devices_per_s"] is None
     # ...and no cache either, so v4's hit-rate field stays null
     assert row["cache_hit_rate"] is None
+    # ...and no partition layer, so v5's local fraction stays null
+    assert row["local_fraction"] is None
     empty = benchmark_payload(
         [{"name": "none", "wall_s": 0.1}], jobs=0, total_wall_s=0.1
     )
@@ -188,6 +190,31 @@ def test_benchmark_payload_cache_hit_rate():
     assert [c["cache_hit_rate"] for c in row["cells"]] == [0.0, 0.9]
 
 
+def _partition_cell(fraction):
+    return {"devices": 6, "local_fraction": fraction}
+
+
+def test_benchmark_payload_local_fraction():
+    # Cells returning "local_fraction" roll up into the v5 per-
+    # experiment mean over reporting cells.
+    cells = [
+        Cell(experiment="partition", key=(f,), fn=_partition_cell,
+             kwargs={"fraction": f})
+        for f in (0.0, 0.5)
+    ]
+    with collect_timings() as timings:
+        run_cells(cells, jobs=0)
+    assert [t.local_fraction for t in timings] == [0.0, 0.5]
+    payload = benchmark_payload(
+        [{"name": "partition", "wall_s": 0.5, "timings": timings}],
+        jobs=0,
+        total_wall_s=0.5,
+    )
+    (row,) = payload["experiments"]
+    assert row["local_fraction"] == pytest.approx(0.25)
+    assert [c["local_fraction"] for c in row["cells"]] == [0.0, 0.5]
+
+
 def test_runner_bench_writes_stable_schema(tmp_path, capsys):
     bench = tmp_path / "BENCH_experiments.json"
     assert main(["--bench", str(bench), "sec3e"]) == 0
@@ -198,6 +225,7 @@ def test_runner_bench_writes_stable_schema(tmp_path, capsys):
     (row,) = payload["experiments"]
     assert row["name"] == "sec3e"
     assert row["cells"] and all(
-        set(c) == {"key", "wall_s", "devices", "cache_hit_rate"}
+        set(c) == {"key", "wall_s", "devices", "cache_hit_rate",
+                   "local_fraction"}
         for c in row["cells"]
     )
