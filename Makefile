@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-compare experiments chaos abuse abuse-smoke \
-	scale predictive megascale megascale-smoke cachebench cachebench-smoke \
+	scale predictive megascale megascale-smoke megascale-ab \
+	cachebench cachebench-smoke \
 	partition partition-smoke
 
 JOBS ?= 0
@@ -37,14 +38,23 @@ predictive:
 	$(PYTHON) -m repro.experiments.runner predictive
 
 ## Run the opt-in 1M-device sharded + mesoscale experiment
-## (see docs/PERFORMANCE.md "Megascale").  JOBS=N runs one worker
-## process per shard; the smoke variant is the cheap CI configuration
-## (50k devices over 2 shards).
+## (see docs/PERFORMANCE.md "Megascale").  JOBS=N runs one
+## scatter-gather worker process per shard; the smoke variant is the
+## cheap CI configuration (50k devices over 2 shards).
 megascale:
 	$(PYTHON) -m repro.experiments.runner megascale --jobs $(JOBS)
 
 megascale-smoke:
 	$(PYTHON) -m repro.experiments.runner megascale --smoke --jobs $(JOBS)
+
+## A/B the sharded kernel's parallel path: the full megascale run
+## serially, then again with JOBS worker processes (default: one per
+## mega-cell shard).  Summaries are byte-identical by construction;
+## compare the two mega-cell wall clocks (needs >= JOBS cores to show
+## the scatter-gather speedup).
+megascale-ab:
+	$(PYTHON) -m repro.experiments.runner megascale --jobs 0
+	$(PYTHON) -m repro.experiments.runner megascale --jobs $(if $(filter 0,$(JOBS)),8,$(JOBS))
 
 ## Run the opt-in compute-result cache benchmark: repeat-heavy and
 ## LiveLab-trace shapes, arms cache-off / node tier / cluster tier

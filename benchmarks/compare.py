@@ -8,7 +8,7 @@ Usage::
     python benchmarks/compare.py --threshold 0.25   # regression bar
 
 Compares per-experiment wall-clock from ``BENCH_experiments.json``
-(schema v1-v5, written by ``make bench``) against a fresh
+(schema v1-v6, written by ``make bench``) against a fresh
 measurement and exits non-zero when any experiment regressed by more
 than the threshold.  Schema v2 additionally carries a per-experiment
 cell-wall p99 (``p99_wall_s``); the comparison table shows it as a
@@ -17,7 +17,9 @@ Schema v3 adds ``devices``/``devices_per_s`` for the scale family
 (smoke-measured here so the sharded kernel's throughput trends across
 PRs too); v4 adds ``cache_hit_rate`` for cache-bearing experiments,
 shown as hit-% columns; v5 adds ``local_fraction`` for the partition
-family, shown as local-% columns.  Two defenses against flakiness: experiments faster than
+family, shown as local-% columns; v6 adds the sharded sync-engine
+counters ``epochs_run``/``epochs_skipped``, shown as ``run/skip``
+epoch columns.  Two defenses against flakiness: experiments faster than
 the noise floor on either side are skipped (interpreter jitter swamps
 a 200 ms measurement), and the fresh suite is measured best-of-N
 (``--repeats``, min wall per experiment) so a background process
@@ -49,9 +51,10 @@ DEFAULT_REPEATS = 2
 
 #: v1 has per-experiment wall only; v2 adds ``p99_wall_s``; v3 adds
 #: ``devices``/``devices_per_s``; v4 adds ``cache_hit_rate``; v5 adds
-#: ``local_fraction``.  The reader accepts all five so a fresh v5 run
-#: still compares against old baselines.
-SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
+#: ``local_fraction``; v6 adds ``epochs_run``/``epochs_skipped``.  The
+#: reader accepts all six so a fresh v6 run still compares against old
+#: baselines.
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5, 6)
 
 #: opt-in experiments measured with --smoke alongside the default suite
 #: so the sharded kernel's device throughput and the compute cache's
@@ -71,12 +74,16 @@ def _by_name(payload: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         dps = e.get("devices_per_s")  # absent before v3, null off-family
         hit = e.get("cache_hit_rate")  # absent before v4, null off-family
         loc = e.get("local_fraction")  # absent before v5, null off-family
+        erun = e.get("epochs_run")  # absent before v6, null off-family
+        eskip = e.get("epochs_skipped")
         out[e["name"]] = {
             "wall_s": float(e["wall_s"]),
             "p99_wall_s": None if p99 is None else float(p99),
             "devices_per_s": None if dps is None else float(dps),
             "cache_hit_rate": None if hit is None else float(hit),
             "local_fraction": None if loc is None else float(loc),
+            "epochs_run": None if erun is None else int(erun),
+            "epochs_skipped": None if eskip is None else int(eskip),
         }
     return out
 
@@ -117,6 +124,11 @@ def compare(
             "fresh_hit": new[name]["cache_hit_rate"],
             "base_loc": b["local_fraction"],
             "fresh_loc": new[name]["local_fraction"],
+            "base_epochs": (b["epochs_run"], b["epochs_skipped"]),
+            "fresh_epochs": (
+                new[name]["epochs_run"],
+                new[name]["epochs_skipped"],
+            ),
         }
         rows.append(row)
         if delta > threshold and base_s >= floor_s and fresh_s >= floor_s:
@@ -201,7 +213,8 @@ def main(argv=None) -> int:
     print(
         f"{'experiment':14s} {'base':>8s} {'fresh':>8s} {'delta':>8s} "
         f"{'b.p99':>8s} {'f.p99':>8s} {'b.dev/s':>9s} {'f.dev/s':>9s} "
-        f"{'b.hit%':>7s} {'f.hit%':>7s} {'b.loc%':>7s} {'f.loc%':>7s}"
+        f"{'b.hit%':>7s} {'f.hit%':>7s} {'b.loc%':>7s} {'f.loc%':>7s} "
+        f"{'b.epoch':>9s} {'f.epoch':>9s}"
     )
 
     def p99(value) -> str:
@@ -213,6 +226,13 @@ def main(argv=None) -> int:
     def hits(value) -> str:
         return "-" if value is None else f"{100 * value:.0f}%"
 
+    def epochs(pair) -> str:
+        # (epochs_run, epochs_skipped) as "run/skip"; dash off-family
+        run, skip = pair if pair is not None else (None, None)
+        if run is None:
+            return "-"
+        return f"{run}/{0 if skip is None else skip}"
+
     for row in rows:
         flag = "  <-- REGRESSION" if row in regressions else ""
         print(
@@ -221,7 +241,8 @@ def main(argv=None) -> int:
             f"{p99(row['fresh_p99_s']):>8s} {devs(row.get('base_dev_s')):>9s} "
             f"{devs(row.get('fresh_dev_s')):>9s} {hits(row.get('base_hit')):>7s} "
             f"{hits(row.get('fresh_hit')):>7s} {hits(row.get('base_loc')):>7s} "
-            f"{hits(row.get('fresh_loc')):>7s}{flag}"
+            f"{hits(row.get('fresh_loc')):>7s} {epochs(row.get('base_epochs')):>9s} "
+            f"{epochs(row.get('fresh_epochs')):>9s}{flag}"
         )
     total_base = sum(r["base_s"] for r in rows)
     total_fresh = sum(r["fresh_s"] for r in rows)

@@ -53,8 +53,10 @@ __all__ = [
 #: v3 adds ``devices``/``devices_per_s`` throughput for scale-family
 #: experiments whose cells report a ``devices`` count;
 #: v5 adds ``local_fraction`` for partition-family experiments whose
-#: cells report the fraction of requests executed on the handset)
-BENCH_SCHEMA_VERSION = 5
+#: cells report the fraction of requests executed on the handset;
+#: v6 adds ``epochs_run``/``epochs_skipped`` sync-engine counters for
+#: sharded experiments whose cells report them)
+BENCH_SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -91,6 +93,9 @@ class CellTiming:
     ``local_fraction`` is the fraction of requests the partition layer
     kept on the handset (cells returning a mapping with a
     ``"local_fraction"`` entry — the partition family), or ``None``.
+    ``epochs_run``/``epochs_skipped`` are the sharded kernel's sync
+    counters (cells returning mappings with those entries — the
+    megascale family), or ``None`` for unsharded cells.
     """
 
     experiment: str
@@ -99,14 +104,21 @@ class CellTiming:
     devices: Optional[int] = None
     cache_hit_rate: Optional[float] = None
     local_fraction: Optional[float] = None
+    epochs_run: Optional[int] = None
+    epochs_skipped: Optional[int] = None
 
 
 def _devices_of(value: Any) -> Optional[int]:
     """The ``devices`` count a cell's return value reports, if any."""
+    return _int_of(value, "devices")
+
+
+def _int_of(value: Any, key: str) -> Optional[int]:
+    """An integer entry of a cell's mapping return value, if any."""
     if isinstance(value, Mapping):
-        devices = value.get("devices")
-        if isinstance(devices, int) and not isinstance(devices, bool):
-            return devices
+        count = value.get(key)
+        if isinstance(count, int) and not isinstance(count, bool):
+            return count
     return None
 
 
@@ -252,6 +264,8 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = 0) -> List[Any]:
                     _devices_of(value),
                     _hit_rate_of(value),
                     _local_fraction_of(value),
+                    _int_of(value, "epochs_run"),
+                    _int_of(value, "epochs_skipped"),
                 )
             )
     return [value for value, _ in outcomes]
@@ -280,8 +294,12 @@ def benchmark_payload(
     Schema v5 adds the partition signal the same way: per-cell and
     per-experiment ``local_fraction`` (unweighted mean over reporting
     cells) — how much work the decision layer kept on the handset.
-    The schema is covered by a tier-1 smoke test so downstream tooling
-    can trend wall-clock across PRs.
+    Schema v6 adds the sharded sync-engine counters: per-cell and
+    per-experiment ``epochs_run``/``epochs_skipped`` (sums over
+    reporting cells, ``null`` when none report) — how many sync
+    barriers the epoch loop executed vs elided via idle-epoch
+    skipping.  The schema is covered by a tier-1 smoke test so
+    downstream tooling can trend wall-clock across PRs.
     """
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -304,6 +322,10 @@ def _experiment_row(row: Mapping[str, Any]) -> Dict[str, Any]:
     local_fractions = [
         t.local_fraction for t in timings if t.local_fraction is not None
     ]
+    epochs_run = [t.epochs_run for t in timings if t.epochs_run is not None]
+    epochs_skipped = [
+        t.epochs_skipped for t in timings if t.epochs_skipped is not None
+    ]
     return {
         "name": row["name"],
         "wall_s": row["wall_s"],
@@ -320,6 +342,8 @@ def _experiment_row(row: Mapping[str, Any]) -> Dict[str, Any]:
             if local_fractions
             else None
         ),
+        "epochs_run": sum(epochs_run) if epochs_run else None,
+        "epochs_skipped": sum(epochs_skipped) if epochs_skipped else None,
         "cells": [
             {
                 "key": list(t.key),
@@ -327,6 +351,8 @@ def _experiment_row(row: Mapping[str, Any]) -> Dict[str, Any]:
                 "devices": t.devices,
                 "cache_hit_rate": t.cache_hit_rate,
                 "local_fraction": t.local_fraction,
+                "epochs_run": t.epochs_run,
+                "epochs_skipped": t.epochs_skipped,
             }
             for t in timings
         ],

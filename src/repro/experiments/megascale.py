@@ -56,7 +56,7 @@ from ..platform import (
 )
 from ..platform.population import per_request_bytes
 from ..sim import Environment
-from ..sim.shard import ShardRunner, run_sharded
+from ..sim.shard import EpochStats, ShardRunner, run_sharded
 from ..workloads import VIRUS_SCAN
 
 __all__ = ["run", "report", "cells", "merge", "MEGA_ZONES", "MEGA_DEVICES_PER_ZONE"]
@@ -500,6 +500,7 @@ def _run_packing(
     horizon: float,
     jobs: int = 0,
     metrics: bool = False,
+    stats: Optional[EpochStats] = None,
 ) -> List[Dict[str, Any]]:
     """Run the same zones packed onto shards per ``packing``."""
     by_id = {z["zone"]: z for z in zone_specs}
@@ -521,6 +522,7 @@ def _run_packing(
         until=horizon,
         finalize=_finalize_shard,
         jobs=jobs,
+        stats=stats,
     )
 
 
@@ -602,9 +604,15 @@ def _mega_cell(
         cal["base_response_s"],
         hit_response_s=cal["hit_response_s"],
     )
+    stats = EpochStats()
     wall0 = time.perf_counter()
     summaries = _run_packing(
-        zone_specs, [[z] for z in range(zones)], horizon, jobs=jobs, metrics=True
+        zone_specs,
+        [[z] for z in range(zones)],
+        horizon,
+        jobs=jobs,
+        metrics=True,
+        stats=stats,
     )
     wall_s = time.perf_counter() - wall0
     zsums = [z for s in summaries for z in s["zones"]]
@@ -622,6 +630,9 @@ def _mega_cell(
         "wall_s": wall_s,
         "req_per_s": completed / wall_s,
         "events": sum(s["events"] for s in summaries),
+        "epochs_run": stats.epochs_run,
+        "epochs_skipped": stats.epochs_skipped,
+        "sync_wall_s": stats.sync_wall_s,
         "cross_messages": sum(s["delivered"] for s in summaries),
         "backhaul_bytes": sum(z["backhaul_bytes"] for z in zsums),
         "roamers": sum(len(z["roamer_responses"]) for z in zsums),
@@ -730,6 +741,8 @@ def report(data: Dict[str, Dict[str, Any]]) -> str:
             f"{mega['wall_s']:.2f}",
             f"{mega['req_per_s'] / 1e3:.0f}k",
             f"{mega['events']}",
+            f"{mega['epochs_run']}",
+            f"{mega['epochs_skipped']}",
             f"{mega['cross_messages']}",
             f"{mega['preboots']}",
         ]
@@ -743,6 +756,8 @@ def report(data: Dict[str, Dict[str, Any]]) -> str:
             "wall (s)",
             "req/s",
             "events",
+            "epochs",
+            "skipped",
             "x-shard",
             "preboots",
         ],
@@ -763,7 +778,9 @@ def report(data: Dict[str, Dict[str, Any]]) -> str:
         f"{mega['hit_response_s']:.2f}s), "
         f"{mega['cache_hits']} requests served from the compute cache, "
         f"{mega['roamers']} roamers crossed shards, "
-        f"{mega['preboots']} predictive preboots from aggregate arrivals"
+        f"{mega['preboots']} predictive preboots from aggregate arrivals; "
+        f"idle-epoch skipping elided {mega['epochs_skipped']} of "
+        f"{mega['epochs_run'] + mega['epochs_skipped']} sync rounds"
     )
     return "\n\n".join([anchor_table, anchor_line, ident_line, mega_table, headline])
 

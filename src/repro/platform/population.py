@@ -256,9 +256,21 @@ class PopulationSource:
             metrics.gauge("population.inflight").set(arrivals - completions)
 
     def _run(self, env: "Environment"):
-        """Tick process: O(duration / tick_s) events, none per device."""
+        """Tick process: O(duration / tick_s) events, none per device.
+
+        When nothing consumes the per-tick feed — no predictor and no
+        metrics registry — the run coalesces into a single wake at
+        ``end_time_s``: the closed forms make intermediate settlement
+        pure bookkeeping, and a tick-free population leaves the shard
+        heap empty between epochs so the sharded kernel's idle-epoch
+        skipping (:mod:`repro.sim.shard`) can elide the sync barriers.
+        """
         if self.start_s > env.now:
             yield env.timeout(self.start_s - env.now)
+        if self.predictor is None and metrics_of(env) is None:
+            yield env.timeout(max(self.end_time_s - env.now, 1e-9))
+            self._settle(self.end_time_s)
+            return
         while self._settled_completions < self.n:
             remaining = self.end_time_s - env.now
             yield env.timeout(min(self.tick_s, max(remaining, 1e-9)))

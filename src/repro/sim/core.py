@@ -125,7 +125,14 @@ class Environment:
         self._seq += 1
 
     def peek(self) -> float:
-        """Time of the next scheduled event, ``inf`` if none."""
+        """Time of the next scheduled event, ``inf`` if none.
+
+        After ``run(until=t)`` returns, ``peek() > t`` strictly: events
+        scheduled exactly at the horizon are processed before the run
+        loop stops (see :meth:`run`).  The sharded kernel's idle-epoch
+        skipping (:mod:`repro.sim.shard`) relies on this contract to
+        prove a sync round empty before eliding it.
+        """
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
@@ -149,6 +156,12 @@ class Environment:
         ``until`` may be ``None`` (run until the heap is empty), a time
         (run up to that instant), or an :class:`Event` (run until it is
         processed, returning its value).
+
+        A time horizon is *inclusive*: an event scheduled exactly at
+        ``until`` fires before the loop stops (only ``when > horizon``
+        breaks), so back-to-back windows ``run(until=a); run(until=b)``
+        partition events as ``(-inf, a], (a, b]`` with none lost or
+        double-fired at the seams.
         """
         stop_event: Optional[Event] = None
         horizon = float("inf")
@@ -228,3 +241,16 @@ class Environment:
         ev = self.timeout(delay)
         ev.add_callback(lambda _ev: fn())
         return ev
+
+    def defer_at(self, fn: Callable[[], None], when: float) -> Event:
+        """Run a zero-argument callable at the absolute instant ``when``.
+
+        The absolute-time twin of :meth:`defer`, for callers that hold
+        a timestamp rather than a delay (e.g. a cross-shard message's
+        ``deliver_at``).  Scheduling in the past is an error.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"defer_at({when!r}) lies in the past (now={self._now!r})"
+            )
+        return self.defer(fn, when - self._now)

@@ -18,12 +18,27 @@ node + device population) — and advances them epoch by epoch under a
 
 Shard evolution is a pure function of ``(spec, inbox sequence)`` and
 inboxes are routed in a deterministic order, so the parallel path
-(one persistent worker process per shard, same epoch loop over pipes)
+(one persistent worker process per shard, scatter-gather over pipes)
 produces summaries byte-identical to the serial one — the same
 jobs=1 ≡ jobs=N discipline :mod:`repro.experiments.engine` proves for
 cells.  And because same-shard messages ride the identical epoch
 mechanism, the *shard count* does not perturb results either: a
 two-zone simulation is byte-identical run as one shard or two.
+
+Two optimizations ride the epoch loop without perturbing one byte
+(see docs/PERFORMANCE.md "Megascale" for the argument):
+
+- **Scatter-gather epochs** — the parallel path broadcasts the epoch
+  request to every worker pipe before gathering any reply, so all N
+  shards advance concurrently; outboxes are still gathered and routed
+  in shard order, which is the only order the serial loop observes.
+- **Adaptive idle-epoch skipping** — after a round that produced no
+  mail (and therefore queued no inboxes), every event the simulation
+  will ever see is already on some shard's heap; the loop jumps
+  straight to the epoch whose window contains the earliest such event
+  (``Environment.peek``) instead of grinding through provably empty
+  sync barriers.  The serial and parallel loops apply the identical
+  rule, so jobs=1 ≡ jobs=N holds by construction.
 
 Example
 -------
@@ -35,15 +50,31 @@ Example
 >>> b.on("ping", lambda msg: log.append((b.env.now, msg.payload)))
 >>> _ = a.env.defer(lambda: a.post(src=0, dst=1, kind="ping",
 ...                               payload="hello", delay=1.5), delay=0.25)
->>> run_epochs([a, b], owner={0: 0, 1: 1}, window=1.0, until=3.0)
+>>> stats = run_epochs([a, b], owner={0: 0, 1: 1}, window=1.0, until=10.0)
 >>> log
 [(1.75, 'hello')]
+>>> (stats.epochs_run, stats.epochs_skipped)  # 7 idle barriers elided
+(3, 7)
 """
 
 from __future__ import annotations
 
+import math
+import pickle
+import time
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .events import SimulationError
 
@@ -52,6 +83,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "CausalityError",
+    "EpochStats",
     "ShardMessage",
     "ShardRunner",
     "run_epochs",
@@ -59,9 +91,49 @@ __all__ = [
     "sync_window",
 ]
 
+#: total worker-join budget at teardown — shared across all workers,
+#: not per process, so an errored run never lingers for N x timeout
+_SHUTDOWN_GRACE_S = 2.0
+
+#: exceptions that mean "no worker pool here" (sandboxed interpreter,
+#: fork limits, unpicklable spec/payload) rather than a modelling or
+#: worker failure: only these trigger the serial fallback
+_POOL_UNAVAILABLE = (
+    ImportError,
+    OSError,
+    ValueError,
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+)
+
 
 class CausalityError(SimulationError):
     """A cross-shard message would arrive in the receiver's past."""
+
+
+@dataclass
+class EpochStats:
+    """Sync-engine counters for one sharded run.
+
+    ``epochs_run``/``epochs_skipped`` are deterministic (identical for
+    jobs=1 and jobs=N by construction) and are mirrored into each
+    shard's metrics registry as ``shard.epochs_run`` /
+    ``shard.epochs_skipped`` when observability is attached.
+    ``sync_wall_s`` is real wall-clock spent blocked at the parallel
+    path's gather barrier — nondeterministic by nature, so it lives
+    here and in experiment reports, never in the metrics registry.
+    """
+
+    epochs_run: int = 0
+    epochs_skipped: int = 0
+    sync_wall_s: float = 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (a fallback rerun starts from scratch)."""
+        self.epochs_run = 0
+        self.epochs_skipped = 0
+        self.sync_wall_s = 0.0
 
 
 @dataclass(frozen=True)
@@ -87,6 +159,12 @@ class ShardMessage:
     def sort_key(self):
         """Deterministic delivery order within one receiving inbox."""
         return (self.deliver_at, self.src, self.seq)
+
+
+def _deliver_batch(batch: Sequence[Tuple[ShardMessage, Callable]]) -> None:
+    """Run a same-instant group of handlers in inbox order."""
+    for msg, handler in batch:
+        handler(msg)
 
 
 class ShardRunner:
@@ -152,8 +230,18 @@ class ShardRunner:
 
     # -- receiving ------------------------------------------------------------
     def inject(self, messages: Sequence[ShardMessage]) -> None:
-        """Schedule delivery of an epoch's inbox (sorted by the caller)."""
+        """Schedule delivery of an epoch's inbox (sorted by the caller).
+
+        Delivery is bulk-scheduled: consecutive messages sharing one
+        ``deliver_at`` instant ride a single kernel event instead of
+        one ``defer`` closure each.  Handler order is unchanged — the
+        group runs in inbox order, and any event a handler schedules
+        lands behind the whole group on the heap either way.
+        """
+        if not messages:
+            return
         now = self.env.now
+        pending: List[Tuple[ShardMessage, Callable]] = []
         for msg in messages:
             if msg.deliver_at < now:
                 raise CausalityError(
@@ -164,12 +252,27 @@ class ShardRunner:
             if handler is None:
                 raise KeyError(f"shard {self.shard_id}: no handler for {msg.kind!r}")
             self.delivered += 1
-            self.env.defer(lambda _m=msg, _h=handler: _h(_m), msg.deliver_at - now)
+            pending.append((msg, handler))
+        i, n = 0, len(pending)
+        while i < n:
+            at = pending[i][0].deliver_at
+            j = i + 1
+            while j < n and pending[j][0].deliver_at == at:
+                j += 1
+            batch = pending[i:j]
+            self.env.defer_at(lambda _b=batch: _deliver_batch(_b), at)
+            i = j
 
     # -- advancing ------------------------------------------------------------
     def advance_to(self, t: float) -> None:
-        """Run the shard's environment up to simulated time ``t``."""
-        self.env.run(until=t)
+        """Run the shard's environment up to simulated time ``t``.
+
+        A no-op when the shard's clock is already at or past ``t``
+        (a shard built with a later ``initial_time`` joins the epoch
+        grid once the boundaries catch up to its clock).
+        """
+        if t > self.env.now:
+            self.env.run(until=t)
 
 
 def sync_window(min_cross_latency: float, window: Optional[float] = None) -> float:
@@ -204,31 +307,124 @@ def _route(
     return by_shard
 
 
+# -- wire format --------------------------------------------------------------
+# ShardMessages cross worker pipes as flat field tuples: one pickle of
+# a list of plain tuples per shard per epoch instead of one dataclass
+# reduce per message.  Field order IS ShardMessage's declaration order
+# (src, dst, sent_at, deliver_at, kind, payload, seq), so unpacking is
+# ``ShardMessage(*fields)`` and the packed sort/route keys below index
+# dst=1, deliver_at=3, src=0, seq=6.
+
+_NO_MAIL: Tuple = ()
+
+
+def _pack(messages: Sequence[ShardMessage]) -> List[tuple]:
+    """Flatten messages for the pipe (see the wire-format note above)."""
+    return [
+        (m.src, m.dst, m.sent_at, m.deliver_at, m.kind, m.payload, m.seq)
+        for m in messages
+    ]
+
+
+def _unpack(packed: Sequence[tuple]) -> List[ShardMessage]:
+    """Rebuild :class:`ShardMessage` objects from pipe tuples."""
+    return [ShardMessage(*fields) for fields in packed]
+
+
+def _route_packed(
+    packed: List[tuple], owner: Mapping[int, int]
+) -> Dict[int, List[tuple]]:
+    """:func:`_route`, but over packed tuples — the parent process
+    routes an epoch's mail without ever materializing a dataclass."""
+    by_shard: Dict[int, List[tuple]] = {}
+    for fields in packed:
+        by_shard.setdefault(owner[fields[1]], []).append(fields)
+    for inbox in by_shard.values():
+        inbox.sort(key=lambda f: (f[3], f[0], f[6]))
+    return by_shard
+
+
+# -- the idle-epoch skip rule -------------------------------------------------
+
+def _skip_to(k: int, t0: float, window: float, min_peek: float, until: float) -> int:
+    """Next round index after a mail-less epoch round ``k``.
+
+    Rounds live on the grid ``t0 + i*window`` (multiplied, never
+    accumulated, so serial and parallel agree bit-for-bit on every
+    boundary); round ``i`` advances shards to ``min(t0 + i*window,
+    until)``.  After a round that produced no mail, no inbox is
+    pending and every future event already sits on some shard's heap,
+    so every round strictly before the one containing ``min_peek`` is
+    provably empty: same inboxes (none), same events (none), same
+    outboxes (none).  Jump straight to it.
+
+    An event at exactly a grid boundary fires during the round that
+    *ends* there (``Environment.run`` processes events at the
+    horizon), hence the ``ceil - 1``: the next executed round must end
+    at or after ``min_peek`` and start strictly before it.  The guard
+    loop absorbs float rounding in the division — when in doubt it
+    skips one round fewer, which costs an empty barrier but can never
+    reorder an event into the wrong epoch.
+    """
+    target = min(min_peek, until)
+    k_next = math.ceil((target - t0) / window) - 1
+    while k_next > k and t0 + k_next * window >= target:
+        k_next -= 1
+    return max(k, k_next)
+
+
+def _note_epoch_counters(env: "Environment", stats: "EpochStats") -> None:
+    """Mirror the deterministic epoch counters into ``env``'s metrics."""
+    obs = getattr(env, "obs", None)
+    metrics = None if obs is None else obs.metrics
+    if metrics is not None:
+        metrics.counter("shard.epochs_run").inc(stats.epochs_run)
+        metrics.counter("shard.epochs_skipped").inc(stats.epochs_skipped)
+
+
 def run_epochs(
     shards: Sequence[ShardRunner],
     owner: Mapping[int, int],
     window: float,
     until: float,
-) -> None:
+    stats: Optional[EpochStats] = None,
+) -> EpochStats:
     """Serial conservative epoch loop (the reference implementation).
 
     Repeats until ``until``: inject each shard's inbox, advance every
     shard to the epoch boundary (in shard order), then exchange
-    outboxes.  ``owner`` maps zone id → shard index.
+    outboxes.  ``owner`` maps zone id → shard index.  Rounds that
+    provably do nothing — no pending inbox and no shard event inside
+    their window — are skipped via :func:`_skip_to`; the parallel path
+    applies the identical rule, so the two stay byte-identical.
+    Returns (and fills, when given) an :class:`EpochStats`.
     """
     if window <= 0:
         raise ValueError("window must be positive")
+    stats = stats if stats is not None else EpochStats()
+    stats.reset()
+    if not shards:
+        return stats
     inboxes: Dict[int, List[ShardMessage]] = {}
-    t = min(s.env.now for s in shards) if shards else 0.0
+    t0 = min(s.env.now for s in shards)
+    t = t0
+    k = 0
     while t < until:
-        t_next = min(t + window, until)
+        k += 1
+        t_next = min(t0 + k * window, until)
         mail: List[ShardMessage] = []
         for idx, shard in enumerate(shards):
             shard.inject(inboxes.get(idx, ()))
             shard.advance_to(t_next)
             mail.extend(shard.drain_outbox())
         inboxes = _route(mail, owner)
+        stats.epochs_run += 1
         t = t_next
+        if t < until and not mail:
+            min_peek = min(s.env.peek() for s in shards)
+            k_next = _skip_to(k, t0, window, min_peek, until)
+            stats.epochs_skipped += k_next - k
+            k = k_next
     # Mail still in flight at the horizon is a modelling bug upstream:
     # surface it rather than dropping messages on the floor.
     if any(inboxes.values()):
@@ -237,15 +433,22 @@ def run_epochs(
             f"{pending} cross-shard message(s) undelivered at the horizon "
             f"{until!r}; extend the run or shrink the workload"
         )
+    for shard in shards:
+        _note_epoch_counters(shard.env, stats)
+    return stats
 
 
 def _shard_worker(conn, build, spec, finalize, obs_flags) -> None:
     """Persistent worker: one shard, driven over a pipe by run_sharded.
 
-    Protocol: ``("epoch", t_next, inbox)`` → inject + advance, reply
-    with the outbox; ``("finalize",)`` → reply with ``(summary,
-    obs_snapshots)`` and exit.  Any exception is shipped back as
-    ``("error", repr)`` so the parent can fall back to the serial path.
+    Protocol: after building, the worker announces ``("ready",
+    env.now)`` so the parent can align the epoch grid on the true
+    minimum start clock.  Then ``("epoch", t_next, packed_inbox)`` →
+    inject + advance, reply ``("ok", packed_outbox, env.peek())``;
+    ``("finalize", stats)`` → mirror the epoch counters into this
+    shard's metrics, reply with ``(summary, obs_snapshots)`` and exit.
+    Any exception is shipped back as ``("error", repr)`` so the parent
+    can raise instead of hanging.
     """
     from .. import obs as obs_mod
 
@@ -254,14 +457,17 @@ def _shard_worker(conn, build, spec, finalize, obs_flags) -> None:
         if obs_flags is not None:
             obs_mod.enable_auto(*obs_flags)
         shard = build(spec)
+        conn.send(("ready", shard.env.now))
         while True:
             req = conn.recv()
             if req[0] == "epoch":
                 _, t_next, inbox = req
-                shard.inject(inbox)
+                if inbox:
+                    shard.inject(_unpack(inbox))
                 shard.advance_to(t_next)
-                conn.send(("ok", shard.drain_outbox()))
+                conn.send(("ok", _pack(shard.drain_outbox()), shard.env.peek()))
             elif req[0] == "finalize":
+                _note_epoch_counters(shard.env, req[1])
                 conn.send(("done", finalize(shard), obs_mod.drain()))
                 return
             else:  # pragma: no cover - protocol guard
@@ -276,8 +482,49 @@ def _shard_worker(conn, build, spec, finalize, obs_flags) -> None:
         conn.close()
 
 
-def _run_sharded_mp(build, specs, owner, window, until, finalize) -> List[Any]:
-    """Parallel path: one persistent process per shard, epoch barriers."""
+def _shutdown(pipes, procs) -> None:
+    """Drain, close, and reap every worker without lingering.
+
+    On the error path some pipes still hold unanswered epoch requests
+    (the scatter already went out) and a worker mid-reply may be
+    blocked writing a large outbox; draining pending data unblocks the
+    write, and closing the parent ends turns every later worker
+    ``recv``/``send`` into EOF so the loop exits on its own.  Joins
+    share one grace budget; stragglers are terminated, then killed.
+    """
+    for conn in pipes:
+        try:
+            while conn.poll(0):
+                conn.recv()
+        except (EOFError, OSError):
+            pass
+    for conn in pipes:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    deadline = time.monotonic() + _SHUTDOWN_GRACE_S
+    for proc in procs:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    stragglers = [proc for proc in procs if proc.is_alive()]
+    for proc in stragglers:  # pragma: no cover - defensive
+        proc.terminate()
+    for proc in stragglers:  # pragma: no cover - defensive
+        proc.join(timeout=1.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=1.0)
+
+
+def _run_sharded_mp(build, specs, owner, window, until, finalize, stats) -> List[Any]:
+    """Parallel path: one persistent process per shard, scatter-gather.
+
+    Each epoch broadcasts the request to every worker pipe *before*
+    reading any reply, so all shards advance concurrently; replies are
+    then gathered — and mail routed — in shard order, which is the only
+    order the serial loop observes.  Mail crosses the pipes packed
+    (see the wire-format note above).
+    """
     import multiprocessing as mp
 
     from .. import obs as obs_mod
@@ -285,6 +532,7 @@ def _run_sharded_mp(build, specs, owner, window, until, finalize) -> List[Any]:
     flags = obs_mod.auto_flags()
     ctx = mp.get_context()
     pipes, procs = [], []
+    stats.reset()
     try:
         for spec in specs:
             parent_conn, child_conn = ctx.Pipe()
@@ -296,46 +544,68 @@ def _run_sharded_mp(build, specs, owner, window, until, finalize) -> List[Any]:
             child_conn.close()
             pipes.append(parent_conn)
             procs.append(proc)
+        n = len(specs)
 
-        def rpc(idx: int, request):
-            pipes[idx].send(request)
-            reply = pipes[idx].recv()
+        def exchange(idx: int, request: Optional[tuple]):
+            """One send and/or receive; worker death becomes a
+            SimulationError, never a silent serial fallback."""
+            try:
+                if request is not None:
+                    pipes[idx].send(request)
+                    return None
+                reply = pipes[idx].recv()
+            except (EOFError, BrokenPipeError) as exc:
+                raise SimulationError(
+                    f"shard {idx} worker died mid-run ({exc!r})"
+                ) from exc
             if reply[0] == "error":
                 raise SimulationError(f"shard {idx} worker failed: {reply[1]}")
             return reply
 
-        inboxes: Dict[int, List[ShardMessage]] = {}
-        t = 0.0
+        # Build handshake: the epoch grid starts at the true minimum
+        # shard clock, exactly like the serial loop (a worker built
+        # with initial_time > 0 must not be rewound to t=0).
+        t0 = min(exchange(idx, None)[1] for idx in range(n))
+
+        inboxes: Dict[int, List[tuple]] = {}
+        t = t0
+        k = 0
         while t < until:
-            t_next = min(t + window, until)
-            mail: List[ShardMessage] = []
-            for idx in range(len(specs)):
-                # Lock-step barrier per shard in shard order: identical
-                # message interleave to the serial loop.  (True overlap
-                # would pipeline the sends; determinism first.)
-                _, outbox = rpc(idx, ("epoch", t_next, inboxes.get(idx, [])))
+            k += 1
+            t_next = min(t0 + k * window, until)
+            for idx in range(n):  # scatter: all shards advance at once
+                exchange(idx, ("epoch", t_next, inboxes.get(idx, _NO_MAIL)))
+            wall0 = time.perf_counter()
+            mail: List[tuple] = []
+            peeks: List[float] = []
+            for idx in range(n):  # gather in shard order: serial interleave
+                _, outbox, peek = exchange(idx, None)
                 mail.extend(outbox)
-            inboxes = _route(mail, owner)
+                peeks.append(peek)
+            stats.sync_wall_s += time.perf_counter() - wall0
+            inboxes = _route_packed(mail, owner)
+            stats.epochs_run += 1
             t = t_next
+            if t < until and not mail:
+                k_next = _skip_to(k, t0, window, min(peeks), until)
+                stats.epochs_skipped += k_next - k
+                k = k_next
         if any(inboxes.values()):
             pending = sum(len(v) for v in inboxes.values())
             raise SimulationError(
                 f"{pending} cross-shard message(s) undelivered at the horizon "
                 f"{until!r}; extend the run or shrink the workload"
             )
+        for idx in range(n):
+            exchange(idx, ("finalize", stats))
         summaries: List[Any] = []
-        for idx in range(len(specs)):
-            _, summary, snaps = rpc(idx, ("finalize",))
+        for idx in range(n):
+            _, summary, snaps = exchange(idx, None)
             obs_mod.absorb(snaps)  # shard order == serial environment order
             summaries.append(summary)
         return summaries
     finally:
-        for conn in pipes:
-            conn.close()
-        for proc in procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
+        _shutdown(pipes, procs)
 
 
 def run_sharded(
@@ -346,6 +616,7 @@ def run_sharded(
     until: float,
     finalize: Callable[[ShardRunner], Any],
     jobs: int = 0,
+    stats: Optional[EpochStats] = None,
 ) -> List[Any]:
     """Build, run, and summarize every shard; summaries in shard order.
 
@@ -354,8 +625,14 @@ def run_sharded(
     horizon.  ``jobs <= 1`` runs the serial epoch loop in-process;
     ``jobs > 1`` runs one persistent worker process per shard (the
     epoch barrier needs bidirectional exchange, so shards cannot share
-    pool workers).  Both paths produce identical summaries; the
-    parallel path falls back to serial if processes are unavailable.
+    pool workers).  Both paths produce identical summaries.  ``stats``,
+    when given, is filled with the run's :class:`EpochStats`.
+
+    If the worker pool itself is unavailable (sandboxed interpreter,
+    unpicklable spec or payload) the run falls back to the serial path
+    with a one-line :class:`RuntimeWarning` naming the cause; worker
+    crashes and modelling errors surface as :class:`SimulationError`
+    and are never masked by the fallback.
     """
     specs = list(specs)
     if not specs:
@@ -363,11 +640,17 @@ def run_sharded(
     window = sync_window(window)
     if jobs > 1:
         try:
-            return _run_sharded_mp(build, specs, owner, window, until, finalize)
+            return _run_sharded_mp(build, specs, owner, window, until, finalize,
+                                   stats if stats is not None else EpochStats())
         except SimulationError:
-            raise  # a modelling error, not a pool failure: do not mask it
-        except Exception:
-            pass  # pool unavailable (sandbox, pickling): serial fallback
+            raise  # a modelling or worker error, not a pool failure
+        except _POOL_UNAVAILABLE as exc:
+            warnings.warn(
+                f"sharded worker pool unavailable ({exc!r}); "
+                f"running {len(specs)} shard(s) serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     shards = [build(spec) for spec in specs]
-    run_epochs(shards, owner, window, until)
+    run_epochs(shards, owner, window, until, stats=stats)
     return [finalize(shard) for shard in shards]

@@ -14,7 +14,8 @@ bench_compare = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(bench_compare)
 
 
-def _payload(walls, schema=1, devices=None, hit_rate=None, local_fraction=None):
+def _payload(walls, schema=1, devices=None, hit_rate=None, local_fraction=None,
+             epochs=None):
     rows = []
     for n, w in walls.items():
         row = {"name": n, "wall_s": w}
@@ -27,6 +28,10 @@ def _payload(walls, schema=1, devices=None, hit_rate=None, local_fraction=None):
             row["cache_hit_rate"] = hit_rate
         if schema >= 5:
             row["local_fraction"] = local_fraction
+        if schema >= 6:
+            run, skipped = epochs if epochs is not None else (None, None)
+            row["epochs_run"] = run
+            row["epochs_skipped"] = skipped
         rows.append(row)
     return {"schema_version": schema, "experiments": rows}
 
@@ -147,6 +152,23 @@ def test_compare_carries_v5_local_fraction_through():
     )
     assert rows[0]["base_loc"] is None
     assert rows[0]["fresh_loc"] == pytest.approx(0.30)
+
+
+def test_compare_carries_v6_epoch_counters_through():
+    # v6 baselines surface the sharded sync-engine counters; a v5
+    # baseline against a fresh v6 run leaves the base column None.
+    rows, _ = bench_compare.compare(
+        _payload({"megascale": 2.0}, schema=6, epochs=(300, 900)),
+        _payload({"megascale": 2.0}, schema=6, epochs=(310, 890)),
+    )
+    assert rows[0]["base_epochs"] == (300, 900)
+    assert rows[0]["fresh_epochs"] == (310, 890)
+    rows, _ = bench_compare.compare(
+        _payload({"megascale": 2.0}, schema=5),
+        _payload({"megascale": 2.0}, schema=6, epochs=(310, 890)),
+    )
+    assert rows[0]["base_epochs"] == (None, None)
+    assert rows[0]["fresh_epochs"] == (310, 890)
 
 
 def test_cli_compares_saved_runs(tmp_path, capsys):

@@ -116,13 +116,16 @@ def test_benchmark_payload_schema():
     (row,) = payload["experiments"]
     assert set(row) == {
         "name", "wall_s", "p99_wall_s", "devices", "devices_per_s",
-        "cache_hit_rate", "local_fraction", "cells",
+        "cache_hit_rate", "local_fraction", "epochs_run", "epochs_skipped",
+        "cells",
     }
     assert row["cells"] == [
         {"key": [0], "wall_s": timings[0].wall_s, "devices": None,
-         "cache_hit_rate": None, "local_fraction": None},
+         "cache_hit_rate": None, "local_fraction": None,
+         "epochs_run": None, "epochs_skipped": None},
         {"key": [1], "wall_s": timings[1].wall_s, "devices": None,
-         "cache_hit_rate": None, "local_fraction": None},
+         "cache_hit_rate": None, "local_fraction": None,
+         "epochs_run": None, "epochs_skipped": None},
     ]
     # nearest-rank p99 over 2 cells is the slower one
     assert row["p99_wall_s"] == max(t.wall_s for t in timings)
@@ -133,6 +136,9 @@ def test_benchmark_payload_schema():
     assert row["cache_hit_rate"] is None
     # ...and no partition layer, so v5's local fraction stays null
     assert row["local_fraction"] is None
+    # ...and no sharded kernel, so v6's epoch counters stay null
+    assert row["epochs_run"] is None
+    assert row["epochs_skipped"] is None
     empty = benchmark_payload(
         [{"name": "none", "wall_s": 0.1}], jobs=0, total_wall_s=0.1
     )
@@ -215,6 +221,34 @@ def test_benchmark_payload_local_fraction():
     assert [c["local_fraction"] for c in row["cells"]] == [0.0, 0.5]
 
 
+def _sharded_cell(run, skipped):
+    return {"devices": 50, "epochs_run": run, "epochs_skipped": skipped}
+
+
+def test_benchmark_payload_epoch_counters():
+    # Cells returning "epochs_run"/"epochs_skipped" roll up into the
+    # v6 per-experiment sums over reporting cells.
+    cells = [
+        Cell(experiment="megascale", key=(run,), fn=_sharded_cell,
+             kwargs={"run": run, "skipped": skipped})
+        for run, skipped in ((300, 900), (100, 0))
+    ]
+    with collect_timings() as timings:
+        run_cells(cells, jobs=0)
+    assert [t.epochs_run for t in timings] == [300, 100]
+    assert [t.epochs_skipped for t in timings] == [900, 0]
+    payload = benchmark_payload(
+        [{"name": "megascale", "wall_s": 0.5, "timings": timings}],
+        jobs=0,
+        total_wall_s=0.5,
+    )
+    (row,) = payload["experiments"]
+    assert row["epochs_run"] == 400
+    assert row["epochs_skipped"] == 900
+    assert [c["epochs_run"] for c in row["cells"]] == [300, 100]
+    assert [c["epochs_skipped"] for c in row["cells"]] == [900, 0]
+
+
 def test_runner_bench_writes_stable_schema(tmp_path, capsys):
     bench = tmp_path / "BENCH_experiments.json"
     assert main(["--bench", str(bench), "sec3e"]) == 0
@@ -226,6 +260,6 @@ def test_runner_bench_writes_stable_schema(tmp_path, capsys):
     assert row["name"] == "sec3e"
     assert row["cells"] and all(
         set(c) == {"key", "wall_s", "devices", "cache_hit_rate",
-                   "local_fraction"}
+                   "local_fraction", "epochs_run", "epochs_skipped"}
         for c in row["cells"]
     )

@@ -4,16 +4,23 @@ The conservative contract under test: a cross-shard message may never
 arrive in the receiving shard's past, and the shard/job topology is
 routing detail — the serial epoch loop, the per-shard worker pool, and
 any zone→shard packing all produce byte-identical summaries.
+The scatter-gather/idle-skip sync engine is property-tested against a
+reference loop in ``tests/test_shard_sync.py``.
 """
+
+import time
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.sim.shard as shard_mod
+from repro.obs import Observability
 from repro.sim import Environment
 from repro.sim.events import SimulationError
 from repro.sim.shard import (
     CausalityError,
+    EpochStats,
     ShardMessage,
     ShardRunner,
     run_epochs,
@@ -184,3 +191,215 @@ def test_run_sharded_jobs_identical_to_serial():
     serial = run_sharded(_build_pingpong, jobs=0, **kwargs)
     parallel = run_sharded(_build_pingpong, jobs=2, **kwargs)
     assert serial == parallel
+
+
+def test_epoch_stats_identical_serial_vs_mp():
+    """The sync counters are deterministic: both paths agree exactly."""
+    kwargs = dict(
+        specs=_pingpong_specs(),
+        owner={0: 0, 1: 1},
+        window=LOOKAHEAD,
+        until=10.0,
+        finalize=_finalize_pingpong,
+    )
+    s_serial, s_mp = EpochStats(), EpochStats()
+    run_sharded(_build_pingpong, jobs=0, stats=s_serial, **kwargs)
+    run_sharded(_build_pingpong, jobs=2, stats=s_mp, **kwargs)
+    assert (s_serial.epochs_run, s_serial.epochs_skipped) == (
+        s_mp.epochs_run,
+        s_mp.epochs_skipped,
+    )
+    assert s_serial.epochs_run > 0
+
+
+# ------------------------------------------------------- idle-epoch skipping
+def test_idle_epochs_are_skipped_on_sparse_trace():
+    """A long quiet stretch costs one skip, not hundreds of barriers."""
+    a, b = _pair(lookahead=1.0)
+    b.on("ping", lambda msg: None)
+    a.env.defer(lambda: a.post(0, 1, "ping", None, delay=1.5), 0.5)
+    # One more event deep in the quiet tail, to prove the skip lands on
+    # the round containing it rather than jumping straight to the end.
+    late = []
+    b.env.defer(lambda: late.append(b.env.now), 90.25)
+    stats = run_epochs([a, b], owner={0: 0, 1: 1}, window=1.0, until=100.0)
+    assert late == [90.25]
+    assert stats.epochs_skipped > 80
+    # every grid round is accounted for: run + skipped == ceil(100/1)
+    assert stats.epochs_run + stats.epochs_skipped == 100
+
+
+def test_event_exactly_on_epoch_boundary_is_not_skipped_past():
+    """Boundary events fire in the round that ends at their instant."""
+    a, b = _pair(lookahead=1.0)
+    b.on("ping", lambda msg: None)
+    hits = []
+    b.env.defer(lambda: hits.append(b.env.now), 7.0)  # exactly on the grid
+    stats = run_epochs([a, b], owner={0: 0, 1: 1}, window=1.0, until=20.0)
+    assert hits == [7.0]
+    assert stats.epochs_skipped > 0
+
+
+def test_epoch_counters_mirrored_into_metrics():
+    env_a, env_b = Environment(), Environment()
+    obs = Observability(env_a, tracing=False, metrics=True)
+    a = ShardRunner(0, env_a, lookahead=1.0)
+    b = ShardRunner(1, env_b, lookahead=1.0)
+    b.on("ping", lambda msg: None)
+    a.env.defer(lambda: a.post(0, 1, "ping", None, delay=1.5), 0.5)
+    stats = run_epochs([a, b], owner={0: 0, 1: 1}, window=1.0, until=50.0)
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["shard.epochs_run"] == stats.epochs_run
+    assert counters["shard.epochs_skipped"] == stats.epochs_skipped
+    assert stats.epochs_skipped > 0
+
+
+def test_inject_batches_same_instant_deliveries():
+    """Messages sharing a deliver_at ride one kernel event, in order."""
+    _, b = _pair(lookahead=1.0)
+    order = []
+    b.on("ping", lambda msg: order.append(msg.payload))
+    msgs = [
+        ShardMessage(src=0, dst=1, sent_at=0.0, deliver_at=at, kind="ping",
+                     payload=i, seq=i)
+        for i, at in enumerate((2.0, 2.0, 2.0, 3.0))
+    ]
+    before = b.env.event_count
+    b.inject(msgs)
+    assert b.env.event_count - before == 2  # two distinct instants
+    b.advance_to(5.0)
+    assert order == [0, 1, 2, 3]
+    assert b.delivered == 4
+
+
+# ------------------------------------------------- mp start-clock handshake
+def _build_offset_pingpong(spec):
+    """Ping/pong shard whose Environment starts at a non-zero clock."""
+    env = Environment(initial_time=spec["clock"])
+    runner = ShardRunner(spec["shard"], env, lookahead=LOOKAHEAD)
+    runner.log = []
+    if spec["shard"] == 0:
+        for i in range(spec["pings"]):
+            env.defer(
+                lambda _i=i: runner.post(
+                    0, 1, "ping", _i, delay=LOOKAHEAD + 0.1 + 0.01 * _i
+                ),
+                0.3 * i,
+            )
+        runner.on("pong", lambda msg: runner.log.append((env.now, msg.payload)))
+    else:
+        def echo(msg):
+            runner.log.append((env.now, msg.payload))
+            runner.post(1, 0, "pong", msg.payload * 10, delay=LOOKAHEAD + 0.05)
+
+        runner.on("ping", echo)
+    return runner
+
+
+def test_mp_honors_nonzero_start_clock():
+    """Regression: the parallel path must start the epoch grid at the
+    workers' true minimum clock, not at t=0 (which would run a
+    different epoch schedule than the serial loop)."""
+    kwargs = dict(
+        specs=[
+            {"shard": 0, "pings": 8, "clock": 5.0},
+            {"shard": 1, "pings": 8, "clock": 5.0},
+        ],
+        owner={0: 0, 1: 1},
+        window=LOOKAHEAD,
+        until=15.0,
+        finalize=_finalize_pingpong,
+    )
+    s_serial, s_mp = EpochStats(), EpochStats()
+    serial = run_sharded(_build_offset_pingpong, jobs=0, stats=s_serial, **kwargs)
+    parallel = run_sharded(_build_offset_pingpong, jobs=2, stats=s_mp, **kwargs)
+    assert serial == parallel
+    assert len(serial[0]["log"]) == 8
+    assert (s_serial.epochs_run, s_serial.epochs_skipped) == (
+        s_mp.epochs_run,
+        s_mp.epochs_skipped,
+    )
+
+
+# --------------------------------------------------- fallback and teardown
+def test_pool_unavailable_falls_back_with_warning(monkeypatch):
+    """A missing worker pool degrades to serial loudly, not silently."""
+
+    def no_pool(*args, **kwargs):
+        raise OSError("fork unavailable")
+
+    monkeypatch.setattr(shard_mod, "_run_sharded_mp", no_pool)
+    kwargs = dict(
+        specs=_pingpong_specs(),
+        owner={0: 0, 1: 1},
+        window=LOOKAHEAD,
+        until=10.0,
+        finalize=_finalize_pingpong,
+    )
+    serial = run_sharded(_build_pingpong, jobs=0, **kwargs)
+    with pytest.warns(RuntimeWarning, match="fork unavailable"):
+        fallback = run_sharded(_build_pingpong, jobs=2, **kwargs)
+    assert fallback == serial
+
+
+def test_non_pool_errors_are_not_masked_by_fallback(monkeypatch):
+    """Only pool-unavailability triggers the fallback; a coordinator
+    bug (or a modelling error) must surface."""
+
+    def broken(*args, **kwargs):
+        raise ZeroDivisionError("coordinator bug")
+
+    monkeypatch.setattr(shard_mod, "_run_sharded_mp", broken)
+    with pytest.raises(ZeroDivisionError):
+        run_sharded(
+            _build_pingpong,
+            _pingpong_specs(),
+            owner={0: 0, 1: 1},
+            window=LOOKAHEAD,
+            until=10.0,
+            finalize=_finalize_pingpong,
+            jobs=2,
+        )
+
+
+def _build_crashy(spec):
+    """Three-zone shard set where zone 1's handler blows up mid-run."""
+    env = Environment()
+    runner = ShardRunner(spec["shard"], env, lookahead=LOOKAHEAD)
+    runner.log = []
+    zone = spec["shard"]
+    if zone == 0:
+        for i in range(20):
+            for dst in (1, 2):
+                env.defer(
+                    lambda _i=i, _d=dst: runner.post(
+                        0, _d, "ping", _i, delay=LOOKAHEAD + 0.1
+                    ),
+                    0.4 * i,
+                )
+
+    def handler(msg):
+        if zone == 1 and msg.payload >= 3:
+            raise RuntimeError("injected handler crash")
+        runner.log.append((env.now, msg.payload))
+
+    runner.on("ping", handler)
+    return runner
+
+
+def test_worker_crash_surfaces_and_tears_down_promptly():
+    """An errored worker raises SimulationError (never a silent serial
+    rerun) and the remaining workers are reaped without waiting out a
+    long per-process join timeout."""
+    t0 = time.monotonic()
+    with pytest.raises(SimulationError, match="worker failed"):
+        run_sharded(
+            _build_crashy,
+            [{"shard": 0}, {"shard": 1}, {"shard": 2}],
+            owner={0: 0, 1: 1, 2: 2},
+            window=LOOKAHEAD,
+            until=12.0,
+            finalize=_finalize_pingpong,
+            jobs=3,
+        )
+    assert time.monotonic() - t0 < 4.0
